@@ -1,0 +1,194 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation on
+   the simulator (the same registry the CLI uses) and prints them in paper
+   order — workload generation, parameter choice, baselines and rendering
+   all live in Psbox_experiments.
+
+   Part 2 microbenchmarks the kernel-path operations behind those results
+   with Bechamel: one Test.make per table/figure (a reduced cell of that
+   experiment) plus the core primitives (scheduler second, balloon cycle,
+   temporal-balloon cycle, DTW, exact energy integration, accounting
+   sweep). *)
+
+open Bechamel
+open Toolkit
+module Registry = Psbox_experiments.Registry
+module Report = Psbox_experiments.Report
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+module W = Psbox_workloads.Workload
+module T = Psbox_engine.Time
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every table and figure                            *)
+
+let regenerate () =
+  print_endline "=====================================================";
+  print_endline " psbox reproduction: all paper tables and figures";
+  print_endline "=====================================================";
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let r = e.Registry.e_run () in
+      Report.print r;
+      Printf.printf "  (%s regenerated in %.2fs wall)\n\n%!" e.Registry.e_id
+        (Unix.gettimeofday () -. t0))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks                                     *)
+
+(* One simulated scheduler second: 2 CPU-bound apps on 2 cores. *)
+let bench_sched_second () =
+  let sys = System.create ~cores:2 () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  let spin app core =
+    ignore
+      (W.spawn sys ~app ~name:"spin" ~core
+         (W.forever (fun () -> [ W.Compute (T.ms 5) ])))
+  in
+  spin a 0;
+  spin b 1;
+  System.start sys;
+  System.run_for sys (T.sec 1);
+  System.shutdown sys
+
+(* One spatial-balloon cycle (fig6/fig7/fig8 inner loop). *)
+let bench_balloon_cycle () =
+  let sys = System.create ~cores:2 () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  List.iter
+    (fun (app, core) ->
+      ignore
+        (W.spawn sys ~app ~name:"w" ~core
+           (W.forever (fun () -> [ W.Compute (T.ms 5) ]))))
+    [ (a, 0); (a, 1); (b, 0); (b, 1) ];
+  System.start sys;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Cpu ] in
+  Psbox.enter box;
+  System.run_for sys (T.ms 100);
+  ignore (Psbox.read_mj box);
+  Psbox.leave box;
+  System.shutdown sys
+
+(* One temporal-balloon cycle on the GPU (fig6 row 3 / contention). *)
+let bench_temporal_balloon () =
+  let sys = System.create ~cores:2 ~gpu:true () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  List.iter
+    (fun app ->
+      ignore
+        (W.spawn sys ~app ~name:"g" ~core:0
+           (W.forever
+              (fun () -> [ W.Gpu_batch [ W.spec ~kind:"k" ~work_s:0.002 () ] ]))))
+    [ a; b ];
+  System.start sys;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Gpu ] in
+  Psbox.enter box;
+  System.run_for sys (T.ms 100);
+  ignore (Psbox.read_mj box);
+  Psbox.leave box;
+  System.shutdown sys
+
+(* One NIC balloon cycle (fig6 row 4 / fig8d). *)
+let bench_nic_balloon () =
+  let sys = System.bbb () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  List.iter
+    (fun app ->
+      ignore
+        (W.spawn sys ~app ~name:"n" ~core:0
+           (W.forever (fun () -> [ W.Send { socket = 1; bytes = 8_000 } ]))))
+    [ a; b ];
+  System.start sys;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Wifi ] in
+  Psbox.enter box;
+  System.run_for sys (T.ms 100);
+  ignore (Psbox.read_mj box);
+  Psbox.leave box;
+  System.shutdown sys
+
+(* DTW on 140-point traces (sidechan's classifier inner loop). *)
+let dtw_a = Array.init 140 (fun i -> sin (0.1 *. float_of_int i))
+let dtw_b = Array.init 140 (fun i -> sin (0.12 *. float_of_int i) +. 0.1)
+let bench_dtw () = ignore (Psbox_sidechannel.Dtw.distance ~band:80 dtw_a dtw_b)
+
+(* Exact energy integration over a 10k-breakpoint rail (every meter read). *)
+let big_timeline =
+  let tl = Psbox_engine.Timeline.create ~initial:1.0 () in
+  for i = 1 to 10_000 do
+    Psbox_engine.Timeline.set tl (i * 1000) (float_of_int (i land 7))
+  done;
+  tl
+
+let bench_integrate () =
+  ignore (Psbox_engine.Timeline.integrate big_timeline 0 10_000_000)
+
+(* Accounting sweep over 2k usage spans (fig6 'prior approach' columns). *)
+let usages =
+  List.init 2_000 (fun i ->
+      {
+        Psbox_accounting.Usage.app = i mod 3;
+        start = i * 5_000;
+        stop = (i * 5_000) + 4_000;
+        share = 0.5;
+      })
+
+let bench_usage_split () =
+  ignore
+    (Psbox_accounting.Split.usage_split big_timeline usages ~from:0
+       ~until:10_000_000)
+
+let tests =
+  Test.make_grouped ~name:"psbox"
+    [
+      Test.make ~name:"fig6+fig8: scheduler second (2 cores)"
+        (Staged.stage bench_sched_second);
+      Test.make ~name:"fig6+fig7: spatial balloons, 100ms slice"
+        (Staged.stage bench_balloon_cycle);
+      Test.make ~name:"fig6+contention: GPU temporal balloons, 100ms slice"
+        (Staged.stage bench_temporal_balloon);
+      Test.make ~name:"fig6+fig8d: NIC balloons, 100ms slice"
+        (Staged.stage bench_nic_balloon);
+      Test.make ~name:"sidechan: DTW, 140-point traces" (Staged.stage bench_dtw);
+      Test.make ~name:"meter: integrate 10k-breakpoint rail"
+        (Staged.stage bench_integrate);
+      Test.make ~name:"fig6 prior: usage-split sweep, 2k spans"
+        (Staged.stage bench_usage_split);
+    ]
+
+let microbench () =
+  print_endline "=====================================================";
+  print_endline " Bechamel microbenchmarks (simulator kernel paths)";
+  print_endline "=====================================================";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ ns ] ->
+          let pretty =
+            if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "  %-52s %s/run\n%!" name pretty
+      | _ -> Printf.printf "  %-52s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+let () =
+  regenerate ();
+  microbench ()

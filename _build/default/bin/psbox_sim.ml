@@ -1,0 +1,47 @@
+(* psbox-sim: run the paper's experiments from the command line.
+
+   Usage:
+     psbox_sim list             enumerate experiment ids
+     psbox_sim run <id> ...     run one or more experiments
+     psbox_sim all              run everything, in paper order *)
+
+open Cmdliner
+module Registry = Psbox_experiments.Registry
+module Report = Psbox_experiments.Report
+
+let list_cmd =
+  let doc = "List the available experiments (one per paper table/figure)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-12s %s\n" e.Registry.e_id e.Registry.e_title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_ids ids =
+  let run_one id =
+    match Registry.find id with
+    | Some e -> Report.print (e.Registry.e_run ())
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `psbox_sim list`\n" id;
+        exit 2
+  in
+  List.iter run_one ids
+
+let run_cmd =
+  let doc = "Run specific experiments by id." in
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment id")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+
+let all_cmd =
+  let doc = "Run every experiment in paper order." in
+  let run () = run_ids (List.map (fun e -> e.Registry.e_id) Registry.all) in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "psbox reproduction: the paper's experiments on the simulator" in
+  let info = Cmd.info "psbox_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/offload_decision.ml: Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Time

@@ -1,0 +1,1 @@
+examples/phone_hud.ml: Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Psbox_workloads Time

@@ -1,0 +1,1 @@
+examples/phone_hud.mli:

@@ -1,0 +1,1 @@
+examples/power_debugging.ml: Hashtbl List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_meter Psbox_workloads Time

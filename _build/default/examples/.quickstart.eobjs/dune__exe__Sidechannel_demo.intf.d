@@ -1,0 +1,1 @@
+examples/sidechannel_demo.mli:

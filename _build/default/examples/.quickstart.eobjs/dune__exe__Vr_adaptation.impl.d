@@ -1,0 +1,1 @@
+examples/vr_adaptation.ml: Array Format List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Stats Time

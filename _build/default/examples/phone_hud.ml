@@ -1,0 +1,88 @@
+(* A phone-flavoured scenario beyond the paper's prototypes: a navigation
+   app holds a psbox over CPU + GPU + WiFi + display + GPS at once, watches
+   a "sustained high power" event through a sensor hub (the §8 offloading
+   story), and reacts by dimming its map surface.
+
+   Run with:  dune exec examples/phone_hud.exe *)
+
+open Psbox_engine
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+module Power_events = Psbox_core.Power_events
+module Display = Psbox_hw.Display
+module Gps = Psbox_hw.Gps
+module Sensor_hub = Psbox_meter.Sensor_hub
+module W = Psbox_workloads.Workload
+
+let () =
+  let sys = System.phone () in
+  let nav = System.new_app sys ~name:"nav" in
+  let downloader = System.new_app sys ~name:"downloader" in
+
+  (* The navigation app: periodic route computation + map rendering. *)
+  ignore
+    (W.spawn sys ~app:nav ~name:"route" ~core:0
+       (W.forever (fun () ->
+            [
+              W.Compute (Time.ms 6);
+              W.Gpu_batch [ W.spec ~kind:"map-tile" ~work_s:0.004 ~units:2 () ];
+              W.Sleep (Time.ms 20);
+            ])));
+  Gps.subscribe (System.gps sys) ~app:nav.System.app_id;
+  let brightness = ref 0.9 in
+  let redraw () =
+    Display.set_surface (System.display sys) ~app:nav.System.app_id
+      ~pixels:1_800_000 ~luminance:!brightness
+  in
+  redraw ();
+
+  (* A background bulk download competing for the NIC and the display. *)
+  ignore (Psbox_workloads.Wifi_apps.wget sys ~kb:1_000_000 downloader);
+  Display.set_surface (System.display sys) ~app:downloader.System.app_id
+    ~pixels:200_000 ~luminance:1.0;
+
+  System.start sys;
+  System.run_for sys (Time.ms 200);
+
+  (* One psbox over the app's whole vertical slice. *)
+  let box =
+    Psbox.create sys ~app:nav.System.app_id
+      ~hw:[ Psbox.Cpu; Psbox.Gpu; Psbox.Wifi; Psbox.Display; Psbox.Gps ]
+  in
+  Psbox.enter box;
+
+  (* A sensor hub evaluates the app's power predicate off the main CPU. *)
+  let hub = Sensor_hub.create (System.sim sys) () in
+  let dims = ref 0 in
+  let sub =
+    Power_events.subscribe ~hub sys box
+      ~predicate:(Power_events.Above { watts = 1.2; lasting = Time.ms 15 })
+      (fun _t ->
+        if !brightness > 0.4 then begin
+          brightness := !brightness -. 0.1;
+          incr dims;
+          redraw ()
+        end)
+  in
+
+  let t0 = System.now sys in
+  for i = 1 to 8 do
+    System.run_for sys (Time.sec 1);
+    let mj = Psbox.read_mj box in
+    Printf.printf
+      "t=%ds  my power so far: %7.1f mJ (%.2f W avg)  brightness %.1f  dims %d\n"
+      i mj
+      (mj /. 1e3 /. Time.to_sec_f (System.now sys - t0))
+      !brightness !dims
+  done;
+
+  Printf.printf
+    "\nGPS cold start, map tiles, my own WiFi and display pixels are all in \
+     the observation; the downloader's transfer and its status-bar pixels \
+     are not.\n";
+  Printf.printf "sensor hub processed %d samples at %.1f mJ total\n"
+    (Sensor_hub.processed hub)
+    (Sensor_hub.energy_j hub ~from:t0 ~until:(System.now sys) *. 1e3);
+  Power_events.cancel sub;
+  Psbox.leave box;
+  System.shutdown sys

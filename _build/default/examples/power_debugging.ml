@@ -1,0 +1,85 @@
+(* Power debugging: mapping timestamped psbox samples to software phases.
+
+   The motivation of §2.1: apps need power at fine temporal granularity to
+   attribute it to short-lived activities. Every psbox reading carries a
+   standard-clock timestamp, so an app can mark its phase boundaries and
+   integrate its own power per phase — here a pipeline of decode, detect
+   and encode phases with very different power profiles.
+
+   Run with:  dune exec examples/power_debugging.exe *)
+
+open Psbox_engine
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+module W = Psbox_workloads.Workload
+module Sample = Psbox_meter.Sample
+
+type phase_mark = { name : string; start : Time.t; stop : Time.t }
+
+let () =
+  let sys = System.create ~cores:2 () in
+  let app = System.new_app sys ~name:"pipeline" in
+  let marks = ref [] in
+  let opened = ref None in
+  let mark name = W.Effect (fun () -> opened := Some (name, System.now sys)) in
+  let close () =
+    W.Effect
+      (fun () ->
+        match !opened with
+        | Some (name, start) ->
+            marks := { name; start; stop = System.now sys } :: !marks;
+            opened := None
+        | None -> ())
+  in
+  (* decode: light, bursty; detect: heavy twin-threaded burst (via a helper
+     thread the app spawns up front); encode: medium with stalls *)
+  let helper_busy = ref false in
+  ignore
+    (W.spawn sys ~app ~name:"helper" ~core:1
+       (W.forever (fun () ->
+            if !helper_busy then [ W.Compute (Time.ms 5) ]
+            else [ W.Sleep (Time.ms 2) ])));
+  ignore
+    (W.spawn sys ~app ~name:"main" ~core:0
+       (W.repeat 8 (fun _ ->
+            [
+              mark "decode"; W.Compute (Time.ms 4); W.Sleep (Time.ms 4); close ();
+              mark "detect";
+              W.Effect (fun () -> helper_busy := true);
+              W.Compute (Time.ms 12);
+              W.Effect (fun () -> helper_busy := false);
+              close ();
+              mark "encode"; W.Compute (Time.ms 6); W.Sleep (Time.ms 2); close ();
+            ])));
+  System.start sys;
+  let box = Psbox.create sys ~app:app.System.app_id ~hw:[ Psbox.Cpu ] in
+  Psbox.enter box;
+  W.run_until_idle sys ~apps:[ app ] ~timeout:(Time.sec 5);
+  let samples = Psbox.sample box in
+  Psbox.leave box;
+
+  (* Fold the timestamped samples into per-phase energy. *)
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun m ->
+      let window = Sample.between samples ~from:m.start ~until:m.stop in
+      let mj = Sample.energy_mj window in
+      let dur, acc =
+        match Hashtbl.find_opt tbl m.name with Some x -> x | None -> (0.0, 0.0)
+      in
+      Hashtbl.replace tbl m.name
+        (dur +. Time.to_ms_f (m.stop - m.start), acc +. mj))
+    !marks;
+  Printf.printf "%-8s %10s %12s %10s\n" "phase" "time" "energy" "mean power";
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt tbl name with
+      | Some (ms, mj) ->
+          Printf.printf "%-8s %7.1f ms %9.2f mJ %7.2f W\n" name ms mj (mj /. ms)
+      | None -> ())
+    [ "decode"; "detect"; "encode" ];
+  Printf.printf
+    "\nthe detect phase lights up both cores (high power); decode/encode are \
+     single-core with stalls — visible only because samples are timestamped \
+     against the app's own clock.\n";
+  System.shutdown sys

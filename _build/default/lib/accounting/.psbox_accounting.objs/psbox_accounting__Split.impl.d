@@ -1,0 +1,1 @@
+lib/accounting/split.ml: Float Hashtbl List Psbox_engine Time Timeline Usage

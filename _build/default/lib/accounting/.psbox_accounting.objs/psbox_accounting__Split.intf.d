@@ -1,0 +1,1 @@
+lib/accounting/split.mli: Psbox_engine Usage

@@ -1,0 +1,1 @@
+lib/accounting/usage.ml: Hashtbl List Psbox_engine Psbox_hw Time Trace

@@ -1,0 +1,1 @@
+lib/accounting/usage.mli: Psbox_engine Psbox_hw

@@ -1,0 +1,107 @@
+open Psbox_engine
+
+type result = (int * float) list
+
+let add acc app e =
+  let cur = match List.assoc_opt app acc with Some x -> x | None -> 0.0 in
+  (app, cur +. e) :: List.remove_assoc app acc
+
+let fold_segments tl usages ~from ~until ~f =
+  let segs = Usage.segments usages ~from ~until in
+  List.fold_left
+    (fun acc seg ->
+      let energy = Timeline.integrate tl seg.Usage.t0 seg.Usage.t1 in
+      f acc seg energy)
+    [] segs
+  |> List.sort compare
+
+let usage_split tl usages ~from ~until =
+  fold_segments tl usages ~from ~until ~f:(fun acc seg energy ->
+      let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 seg.Usage.shares in
+      if total <= 0.0 then acc
+      else
+        List.fold_left
+          (fun acc (app, share) -> add acc app (energy *. share /. total))
+          acc seg.Usage.shares)
+
+let even_split tl usages ~from ~until =
+  fold_segments tl usages ~from ~until ~f:(fun acc seg energy ->
+      match seg.Usage.shares with
+      | [] -> acc
+      | shares ->
+          let n = float_of_int (List.length shares) in
+          List.fold_left (fun acc (app, _) -> add acc app (energy /. n)) acc shares)
+
+let last_entity tl usages ~from ~until =
+  let segs = Usage.segments usages ~from ~until in
+  let last = ref None in
+  List.fold_left
+    (fun acc seg ->
+      let energy = Timeline.integrate tl seg.Usage.t0 seg.Usage.t1 in
+      match seg.Usage.shares with
+      | [] -> (
+          (* tail power goes to the most recent user *)
+          match !last with Some app -> add acc app energy | None -> acc)
+      | shares ->
+          (* the dominant user both gets this segment's split and becomes
+             the "last" entity *)
+          let dominant, _ =
+            List.fold_left
+              (fun (ba, bs) (a, s) -> if s > bs then (a, s) else (ba, bs))
+              (fst (List.hd shares), -1.0)
+              shares
+          in
+          last := Some dominant;
+          let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 shares in
+          List.fold_left
+            (fun acc (app, share) -> add acc app (energy *. share /. total))
+            acc shares)
+    [] segs
+  |> List.sort compare
+
+let shared_baseline tl ~idle_w usages ~from ~until =
+  fold_segments tl usages ~from ~until ~f:(fun acc seg energy ->
+      match seg.Usage.shares with
+      | [] -> acc
+      | shares ->
+          let dur = Time.to_sec_f (seg.Usage.t1 - seg.Usage.t0) in
+          let baseline = Float.min energy (idle_w *. dur) in
+          let dynamic = energy -. baseline in
+          let n = float_of_int (List.length shares) in
+          let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 shares in
+          List.fold_left
+            (fun acc (app, share) ->
+              add acc app ((baseline /. n) +. (dynamic *. share /. total)))
+            acc shares)
+
+let windowed_by_count ?(window = Time.ms 100) tl usages ~from ~until =
+  let acc = ref [] in
+  let cursor = ref from in
+  while !cursor < until do
+    let w_end = min until (!cursor + window) in
+    let energy = Timeline.integrate tl !cursor w_end in
+    (* requests whose service begins in this window *)
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        if s.Usage.start >= !cursor && s.Usage.start < w_end then begin
+          let c =
+            match Hashtbl.find_opt counts s.Usage.app with
+            | Some c -> c
+            | None -> 0
+          in
+          Hashtbl.replace counts s.Usage.app (c + 1)
+        end)
+      usages;
+    let total = Hashtbl.fold (fun _ c a -> a + c) counts 0 in
+    if total > 0 then
+      Hashtbl.iter
+        (fun app c ->
+          acc :=
+            add !acc app (energy *. float_of_int c /. float_of_int total))
+        counts;
+    cursor := w_end
+  done;
+  List.sort compare !acc
+
+let total_attributed result = List.fold_left (fun a (_, e) -> a +. e) 0.0 result

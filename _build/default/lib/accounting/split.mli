@@ -1,0 +1,69 @@
+(** Prior-art power accounting heuristics (§2.3, §9).
+
+    Each heuristic divides a rail's metered power among apps from their
+    hardware usage. These are the "existing approach" baselines of Figure 6;
+    all of them cope with power entanglement {e after} it has occurred,
+    which is exactly what the paper shows cannot work.
+
+    All functions return per-app energy in joules over the window, and the
+    total attributed energy never exceeds the rail energy. *)
+
+type result = (int * float) list
+(** app id -> attributed energy (J). *)
+
+val usage_split :
+  Psbox_engine.Timeline.t ->
+  Usage.span list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  result
+(** AppScope-style [96]: each instant's power is divided among apps in
+    proportion to their hardware usage at that instant (we integrate exactly
+    over constant-share segments, i.e. at even finer granularity than the
+    paper's favourable 10 us reimplementation). Power during intervals where
+    nobody uses the device is attributed to no one. *)
+
+val even_split :
+  Psbox_engine.Timeline.t ->
+  Usage.span list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  result
+(** V-edge-style [94]: power is split evenly among the apps active at each
+    instant, regardless of how much of the device each uses. *)
+
+val last_entity :
+  Psbox_engine.Timeline.t ->
+  Usage.span list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  result
+(** Eprof-style [70]: power is attributed to the app that used the hardware
+    most recently — including lingering-state (tail) power after the app
+    stopped, until another app takes over. *)
+
+val shared_baseline :
+  Psbox_engine.Timeline.t ->
+  idle_w:float ->
+  Usage.span list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  result
+(** Power-Containers-style [81]: power above the idle baseline is divided by
+    usage share; the shared baseline is split evenly among active apps. *)
+
+val windowed_by_count :
+  ?window:Psbox_engine.Time.span ->
+  Psbox_engine.Timeline.t ->
+  Usage.span list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  result
+(** AppScope-style [96] kernel-activity accounting: time is cut into model
+    windows (default 100 ms); each window's full energy — including wake
+    and tail baselines — is divided among apps in proportion to their
+    number of hardware requests (packets, commands) in the window. This is
+    how activity-count models over-charge chatty apps whose co-runners
+    drive the device into hot states. *)
+
+val total_attributed : result -> float

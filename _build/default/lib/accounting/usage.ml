@@ -1,0 +1,77 @@
+open Psbox_engine
+
+type span = { app : int; start : Time.t; stop : Time.t; share : float }
+
+let of_sched_trace ~cores spans =
+  let share = 1.0 /. float_of_int cores in
+  List.filter_map
+    (fun s ->
+      let _, app = s.Trace.tag in
+      if app < 0 then None
+      else Some { app; start = s.Trace.start; stop = s.Trace.stop; share })
+    spans
+
+let of_commands ~units cmds =
+  List.filter_map
+    (fun c ->
+      match (c.Psbox_hw.Accel.started_at, c.Psbox_hw.Accel.finished_at) with
+      | Some t0, Some t1 ->
+          Some
+            {
+              app = c.Psbox_hw.Accel.app;
+              start = t0;
+              stop = t1;
+              share = float_of_int c.Psbox_hw.Accel.units /. float_of_int units;
+            }
+      | _ -> None)
+    cmds
+
+let of_packets pkts =
+  List.filter_map
+    (fun p ->
+      match (p.Psbox_hw.Wifi.air_start, p.Psbox_hw.Wifi.air_end) with
+      | Some t0, Some t1 ->
+          Some { app = p.Psbox_hw.Wifi.app; start = t0; stop = t1; share = 1.0 }
+      | _ -> None)
+    pkts
+
+type segment = { t0 : Time.t; t1 : Time.t; shares : (int * float) list }
+
+let segments spans ~from ~until =
+  (* event sweep: +share at start, -share at stop *)
+  let events =
+    List.concat_map
+      (fun s ->
+        let start = max s.start from and stop = min s.stop until in
+        if stop <= start then []
+        else [ (start, s.app, s.share); (stop, s.app, -.s.share) ])
+      spans
+  in
+  let events = List.sort (fun (t1, _, _) (t2, _, _) -> compare t1 t2) events in
+  let shares : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let current () =
+    Hashtbl.fold
+      (fun app sh acc -> if sh > 1e-9 then (app, sh) :: acc else acc)
+      shares []
+    |> List.sort compare
+  in
+  let apply (_, app, delta) =
+    let cur = match Hashtbl.find_opt shares app with Some x -> x | None -> 0.0 in
+    Hashtbl.replace shares app (cur +. delta)
+  in
+  let rec sweep t events acc =
+    match events with
+    | [] -> if until > t then { t0 = t; t1 = until; shares = current () } :: acc else acc
+    | _ ->
+        let t_next = match events with (te, _, _) :: _ -> te | [] -> until in
+        let now_batch, later =
+          List.partition (fun (te, _, _) -> te = t_next) events
+        in
+        let acc =
+          if t_next > t then { t0 = t; t1 = t_next; shares = current () } :: acc
+          else acc
+        in
+        List.iter apply now_batch;
+        sweep t_next later acc
+  in
+  List.rev (sweep from events [])

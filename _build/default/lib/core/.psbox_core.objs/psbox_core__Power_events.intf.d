@@ -1,0 +1,1 @@
+lib/core/power_events.mli: Psbox Psbox_engine Psbox_kernel Psbox_meter

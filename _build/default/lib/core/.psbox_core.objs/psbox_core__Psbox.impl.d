@@ -1,0 +1,1 @@
+lib/core/psbox.ml: Array Float List Obj Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Sim Time Timeline

@@ -1,0 +1,1 @@
+lib/core/psbox.mli: Psbox_engine Psbox_kernel Psbox_meter

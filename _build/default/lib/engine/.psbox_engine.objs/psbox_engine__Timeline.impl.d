@@ -1,0 +1,1 @@
+lib/engine/timeline.ml: Array Format List Time

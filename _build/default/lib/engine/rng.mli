@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers.
+
+    A small splittable generator (SplitMix64 core) so every scenario is
+    reproducible from a single seed and independent subsystems can draw from
+    independent streams. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split rng] derives an independent stream; the parent stream advances. *)
+
+val bits64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli rng ~p] is [true] with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed (Box-Muller). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly pick an array element. @raise Invalid_argument on [[||]]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

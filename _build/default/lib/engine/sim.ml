@@ -1,0 +1,59 @@
+type handle = { time : Time.t; seq : int; fn : unit -> unit; mutable live : bool }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  q : handle Heap.t;
+}
+
+let compare_handle a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { clock = Time.zero; seq = 0; q = Heap.create ~cmp:compare_handle }
+
+let now sim = sim.clock
+
+let schedule_at sim time fn =
+  if time < sim.clock then
+    invalid_arg
+      (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp time
+         Time.pp sim.clock);
+  let h = { time; seq = sim.seq; fn; live = true } in
+  sim.seq <- sim.seq + 1;
+  Heap.push sim.q h;
+  h
+
+let schedule_after sim span fn = schedule_at sim (sim.clock + span) fn
+let cancel h = h.live <- false
+let cancelled h = not h.live
+
+let run_until sim limit =
+  let rec loop () =
+    match Heap.peek sim.q with
+    | Some h when h.time <= limit ->
+        ignore (Heap.pop sim.q);
+        if h.live then begin
+          sim.clock <- h.time;
+          h.fn ()
+        end;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if limit > sim.clock then sim.clock <- limit
+
+let run sim =
+  let rec loop () =
+    match Heap.pop sim.q with
+    | Some h ->
+        if h.live then begin
+          sim.clock <- h.time;
+          h.fn ()
+        end;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let pending sim = Heap.size sim.q

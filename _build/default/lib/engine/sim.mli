@@ -1,0 +1,40 @@
+(** Discrete-event simulator core.
+
+    A simulator owns a virtual clock and an event queue. Events scheduled for
+    the same instant fire in the order they were scheduled (FIFO within an
+    instant), which keeps runs fully deterministic. *)
+
+type t
+
+type handle
+(** A handle on a scheduled event, usable to cancel it. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** The current simulated time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at sim t f] runs [f] when the clock reaches [t].
+
+    @raise Invalid_argument if [t] is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after sim d f] runs [f] after [d] has elapsed. *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val run_until : t -> Time.t -> unit
+(** [run_until sim t] fires every event scheduled strictly before or at [t]
+    and advances the clock to [t]. *)
+
+val run : t -> unit
+(** Fire events until the queue is empty. *)
+
+val pending : t -> int
+(** Number of events still scheduled (including cancelled ones not yet
+    reaped). *)

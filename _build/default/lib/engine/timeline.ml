@@ -1,0 +1,99 @@
+type t = {
+  mutable times : int array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ?(initial = 0.0) () =
+  { times = Array.make 16 0; values = Array.make 16 initial; len = 1 }
+
+let ensure_capacity tl =
+  if tl.len = Array.length tl.times then begin
+    let ncap = tl.len * 2 in
+    let times = Array.make ncap 0 and values = Array.make ncap 0.0 in
+    Array.blit tl.times 0 times 0 tl.len;
+    Array.blit tl.values 0 values 0 tl.len;
+    tl.times <- times;
+    tl.values <- values
+  end
+
+let last_time tl = tl.times.(tl.len - 1)
+
+let set tl t v =
+  let last = last_time tl in
+  if t < last then
+    invalid_arg
+      (Format.asprintf "Timeline.set: %a is before last breakpoint %a" Time.pp
+         t Time.pp last);
+  if t = last then tl.values.(tl.len - 1) <- v
+  else if tl.values.(tl.len - 1) <> v then begin
+    ensure_capacity tl;
+    tl.times.(tl.len) <- t;
+    tl.values.(tl.len) <- v;
+    tl.len <- tl.len + 1
+  end
+
+(* Index of the last breakpoint at or before [t]. *)
+let index_at tl t =
+  if t >= last_time tl then tl.len - 1
+  else begin
+    let lo = ref 0 and hi = ref (tl.len - 1) in
+    (* invariant: times.(lo) <= t < times.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if tl.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let value_at tl t = if t < tl.times.(0) then tl.values.(0) else tl.values.(index_at tl t)
+
+let breakpoints tl =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((tl.times.(i), tl.values.(i)) :: acc)
+  in
+  build (tl.len - 1) []
+
+let integrate tl t0 t1 =
+  if t1 < t0 then invalid_arg "Timeline.integrate: reversed interval";
+  if t1 = t0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    let i = ref (index_at tl (max t0 tl.times.(0))) in
+    let cursor = ref t0 in
+    while !cursor < t1 do
+      let seg_end =
+        if !i + 1 < tl.len then min tl.times.(!i + 1) t1 else t1
+      in
+      let seg_end = max seg_end !cursor in
+      acc := !acc +. (tl.values.(!i) *. Time.to_sec_f (seg_end - !cursor));
+      cursor := seg_end;
+      if !i + 1 < tl.len && !cursor >= tl.times.(!i + 1) then incr i
+    done;
+    !acc
+  end
+
+let mean tl t0 t1 =
+  if t1 <= t0 then value_at tl t0
+  else integrate tl t0 t1 /. Time.to_sec_f (t1 - t0)
+
+let samples tl ~period ~from ~until =
+  if period <= 0 then invalid_arg "Timeline.samples: period must be positive";
+  let n = ((until - from) / period) + 1 in
+  let n = max n 0 in
+  Array.init n (fun k ->
+      let t = from + (k * period) in
+      (t, value_at tl t))
+
+let map_intervals tl ~from ~until ~f =
+  let acc = ref [] in
+  let i = ref (index_at tl (max from tl.times.(0))) in
+  let cursor = ref from in
+  while !cursor < until do
+    let seg_end = if !i + 1 < tl.len then min tl.times.(!i + 1) until else until in
+    let seg_end = max seg_end !cursor in
+    if seg_end > !cursor then acc := f !cursor seg_end tl.values.(!i) :: !acc;
+    cursor := seg_end;
+    if !i + 1 < tl.len && !cursor >= tl.times.(!i + 1) then incr i
+  done;
+  List.rev !acc

@@ -1,0 +1,47 @@
+(** Piecewise-constant time series.
+
+    A timeline records the value of a quantity (e.g. the power drawn on a
+    rail, in watts) as a step function of simulated time. Breakpoints must be
+    appended in nondecreasing time order, which is what a simulation
+    naturally produces. Queries (point value, exact integral, resampling)
+    use binary search. *)
+
+type t
+
+val create : ?initial:float -> unit -> t
+(** [create ~initial ()] starts at value [initial] (default [0.]) from time
+    zero. *)
+
+val set : t -> Time.t -> float -> unit
+(** [set tl t v] records that the value becomes [v] at instant [t]. Setting
+    at a time earlier than the last breakpoint raises [Invalid_argument];
+    setting at exactly the same instant overwrites the previous value for
+    that instant. *)
+
+val value_at : t -> Time.t -> float
+(** The value in effect at instant [t]. *)
+
+val last_time : t -> Time.t
+(** Time of the most recent breakpoint. *)
+
+val breakpoints : t -> (Time.t * float) list
+(** All breakpoints, oldest first. *)
+
+val integrate : t -> Time.t -> Time.t -> float
+(** [integrate tl t0 t1] is the exact integral of the step function over
+    [\[t0, t1\]] in value-seconds (e.g. joules for a watts timeline).
+    @raise Invalid_argument if [t1 < t0]. *)
+
+val mean : t -> Time.t -> Time.t -> float
+(** Time-weighted mean value over an interval. *)
+
+val samples :
+  t -> period:Time.span -> from:Time.t -> until:Time.t -> (Time.t * float) array
+(** [samples tl ~period ~from ~until] resamples the timeline at a fixed
+    period, like a DAQ would: one sample at [from], [from+period], ... up to
+    and including [until] when aligned. *)
+
+val map_intervals :
+  t -> from:Time.t -> until:Time.t -> f:(Time.t -> Time.t -> float -> 'a) -> 'a list
+(** Apply [f start stop value] to each constant-valued interval intersecting
+    [\[from, until\]], clipped to that window, oldest first. *)

@@ -1,0 +1,52 @@
+type 'a events = { mutable items : (Time.t * 'a) list; mutable n : int }
+
+let events () = { items = []; n = 0 }
+
+let emit tr t v =
+  tr.items <- (t, v) :: tr.items;
+  tr.n <- tr.n + 1
+
+let to_list tr = List.rev tr.items
+let count tr = tr.n
+
+type 'a span = { start : Time.t; stop : Time.t; tag : 'a }
+
+type 'a spans = {
+  mutable completed : 'a span list;
+  mutable live : (Time.t * 'a) list;
+}
+
+let spans () = { completed = []; live = [] }
+
+let open_span tr t tag =
+  if List.exists (fun (_, tag') -> tag' = tag) tr.live then
+    invalid_arg "Trace.open_span: tag already open";
+  tr.live <- (t, tag) :: tr.live
+
+let close_span tr t tag =
+  let rec take acc = function
+    | [] -> raise Not_found
+    | (start, tag') :: rest when tag' = tag ->
+        tr.completed <- { start; stop = t; tag } :: tr.completed;
+        tr.live <- List.rev_append acc rest
+    | entry :: rest -> take (entry :: acc) rest
+  in
+  take [] tr.live
+
+let is_open tr tag = List.exists (fun (_, tag') -> tag' = tag) tr.live
+
+let close_all tr t =
+  List.iter
+    (fun (start, tag) -> tr.completed <- { start; stop = t; tag } :: tr.completed)
+    tr.live;
+  tr.live <- []
+
+let to_spans tr =
+  List.sort (fun a b -> compare (a.start, a.stop) (b.start, b.stop)) tr.completed
+
+let total_duration tr pred =
+  List.fold_left
+    (fun acc s -> if pred s.tag then acc + (s.stop - s.start) else acc)
+    0 tr.completed
+
+let overlaps a b = min a.stop b.stop > max a.start b.start

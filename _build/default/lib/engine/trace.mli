@@ -1,0 +1,47 @@
+(** Trace recording.
+
+    Two recorders are provided: a point-event trace (timestamped values) and
+    an interval trace (labelled spans with a start and an end), used for
+    scheduling and command-dispatch timelines like the ones shown in Figure 7
+    of the paper. *)
+
+(** {1 Point events} *)
+
+type 'a events
+
+val events : unit -> 'a events
+val emit : 'a events -> Time.t -> 'a -> unit
+val to_list : 'a events -> (Time.t * 'a) list
+(** Oldest first. *)
+
+val count : 'a events -> int
+
+(** {1 Interval spans} *)
+
+type 'a span = { start : Time.t; stop : Time.t; tag : 'a }
+
+type 'a spans
+
+val spans : unit -> 'a spans
+
+val open_span : 'a spans -> Time.t -> 'a -> unit
+(** Begin a span with tag ['a]. Multiple spans with distinct tags may be open
+    simultaneously; opening a tag that is already open is an error. *)
+
+val close_span : 'a spans -> Time.t -> 'a -> unit
+(** Close the open span carrying this tag. @raise Not_found if no such span
+    is open. *)
+
+val is_open : 'a spans -> 'a -> bool
+
+val close_all : 'a spans -> Time.t -> unit
+(** Close every still-open span at the given instant. *)
+
+val to_spans : 'a spans -> 'a span list
+(** Completed spans, ordered by start time. *)
+
+val total_duration : 'a spans -> ('a -> bool) -> Time.span
+(** Summed duration of completed spans whose tag satisfies the predicate. *)
+
+val overlaps : 'a span -> 'a span -> bool
+(** Whether two spans intersect for a strictly positive duration. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Common Float List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Report Sim Time

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: List Psbox_accounting Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Time Trace

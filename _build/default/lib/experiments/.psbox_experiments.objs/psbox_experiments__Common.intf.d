@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Psbox_accounting Psbox_core Psbox_engine Psbox_hw Psbox_kernel

@@ -1,0 +1,1 @@
+lib/experiments/contention.ml: Common Float List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Report Rng Time

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Common Float List Printf Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Report Time Timeline

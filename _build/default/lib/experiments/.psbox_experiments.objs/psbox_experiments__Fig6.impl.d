@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common List Option Printf Psbox_accounting Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Report Time

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Bytes List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Report Time Trace

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Common List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Report String Time

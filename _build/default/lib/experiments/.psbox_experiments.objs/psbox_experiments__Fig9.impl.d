@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Float List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Report Stats Time

@@ -1,0 +1,1 @@
+lib/experiments/lte_case.ml: Array Common List Printf Psbox_engine Psbox_hw Report Sim Stats Time Timeline

@@ -1,0 +1,1 @@
+lib/experiments/lte_case.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/metering.ml: Common List Printf Psbox_accounting Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Psbox_workloads Report Time Timeline

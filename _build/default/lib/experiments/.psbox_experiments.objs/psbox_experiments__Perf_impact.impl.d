@@ -1,0 +1,1 @@
+lib/experiments/perf_impact.ml: Array Common List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Report Time

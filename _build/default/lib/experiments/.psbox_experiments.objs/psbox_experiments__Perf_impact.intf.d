@@ -1,0 +1,1 @@
+lib/experiments/perf_impact.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Contention Fig3 Fig6 Fig7 Fig8 Fig9 List Lte_case Metering Perf_impact Report Sidechan Table5

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Buffer Char Float Format List Printf Psbox_engine Psbox_meter String Time Timeline

@@ -1,0 +1,1 @@
+lib/experiments/sidechan.ml: Array List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Psbox_sidechannel Psbox_workloads Report Rng Time

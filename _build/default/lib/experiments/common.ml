@@ -1,0 +1,66 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+module Smp = Psbox_kernel.Smp
+module Accel_driver = Psbox_kernel.Accel_driver
+module Net_sched = Psbox_kernel.Net_sched
+module Psbox = Psbox_core.Psbox
+module Usage = Psbox_accounting.Usage
+module W = Psbox_workloads.Workload
+
+let measure_rate sys app ~key span =
+  let c0 = System.counter app key in
+  System.run_for sys span;
+  (System.counter app key -. c0) /. Time.to_sec_f span
+
+type job = {
+  t0 : Time.t;
+  t1 : Time.t;
+  dur_s : float;
+  rail_mj : float;
+  psbox_mj : float option;
+}
+
+let run_job sys ~rail ~main ?psbox ?(timeout = Time.sec 30) () =
+  System.start sys;
+  (match psbox with Some b -> Psbox.enter b | None -> ());
+  let t0 = System.now sys in
+  W.run_until_idle sys ~apps:[ main ] ~timeout;
+  let t1 = System.now sys in
+  let psbox_mj =
+    match psbox with
+    | Some b ->
+        let mj = Psbox.read_mj b in
+        Psbox.leave b;
+        Some mj
+    | None -> None
+  in
+  {
+    t0;
+    t1;
+    dur_s = Time.to_sec_f (t1 - t0);
+    rail_mj = Psbox_hw.Power_rail.energy_j rail ~from:t0 ~until:t1 *. 1e3;
+    psbox_mj;
+  }
+
+let cpu_usages sys =
+  let smp = System.smp sys in
+  Smp.stop smp;
+  Usage.of_sched_trace
+    ~cores:(Smp.cores smp)
+    (Trace.to_spans (Smp.sched_trace smp))
+
+let accel_usages driver =
+  Usage.of_commands
+    ~units:(Psbox_hw.Accel.units (Accel_driver.device driver))
+    (Accel_driver.completed_commands driver)
+
+let wifi_usages sys =
+  Usage.of_packets (Net_sched.packet_log (System.net sys))
+
+let attributed_mj result ~app =
+  match List.assoc_opt app.System.app_id result with
+  | Some j -> j *. 1e3
+  | None -> 0.0
+
+let pct reference x =
+  if reference = 0.0 then 0.0 else 100.0 *. (x -. reference) /. reference

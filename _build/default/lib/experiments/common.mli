@@ -1,0 +1,44 @@
+(** Shared plumbing for the paper's experiments. *)
+
+module System = Psbox_kernel.System
+
+val measure_rate :
+  System.t -> System.app -> key:string -> Psbox_engine.Time.span -> float
+(** Advance the simulation by a span and return the app's counter rate per
+    second over it. *)
+
+type job = {
+  t0 : Psbox_engine.Time.t;
+  t1 : Psbox_engine.Time.t;
+  dur_s : float;
+  rail_mj : float;  (** full rail energy over the job *)
+  psbox_mj : float option;  (** virtual-meter energy, when a psbox was used *)
+}
+
+val run_job :
+  System.t ->
+  rail:Psbox_hw.Power_rail.t ->
+  main:System.app ->
+  ?psbox:Psbox_core.Psbox.t ->
+  ?timeout:Psbox_engine.Time.span ->
+  unit ->
+  job
+(** Start the system (if needed), enter the psbox (when given), run until
+    the main app's tasks exit, read the meters, leave the psbox. *)
+
+(** {1 Prior-approach attribution per hardware class} *)
+
+val cpu_usages : System.t -> Psbox_accounting.Usage.span list
+(** Finalizes the scheduler trace — call after the measurement window. *)
+
+val accel_usages : Psbox_kernel.Accel_driver.t -> Psbox_accounting.Usage.span list
+
+val wifi_usages : System.t -> Psbox_accounting.Usage.span list
+(** Airtime spans from the NIC driver's dispatch log. *)
+
+val attributed_mj :
+  Psbox_accounting.Split.result -> app:System.app -> float
+
+val pct : float -> float -> float
+(** [pct reference x] is the signed percentage difference of [x] from
+    [reference]. *)

@@ -1,0 +1,14 @@
+(** §6.3 stress test: robustness of the fairness guarantee.
+
+    A GPU-hungry synthetic app (triangle) co-runs with a sandboxed browser
+    that loads pages back to back. Draining triangle's deep command pipeline
+    before every browser balloon makes the sandboxed browser's GPU
+    throughput collapse (the paper saw 4x), while triangle — which absorbs
+    none of the balloon cost — barely moves (the paper saw -1%). *)
+
+type result = {
+  browser_drop_factor : float;  (** browser throughput before / after *)
+  triangle_delta_pct : float;  (** triangle throughput change *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

@@ -1,0 +1,32 @@
+(** Figure 3: the three causes of power entanglement.
+
+    (a) spatial concurrency: total CPU power of two co-running instances is
+    far less than 2x one instance (shared idle + uncore);
+    (b) blurry request boundary: overlapping asynchronous GPU commands whose
+    power impacts cannot be separated;
+    (c) lingering power state: the same app draws different power right
+    after a busy period than after an idle one (DVFS residue). *)
+
+type a_result = {
+  one_instance_w : float;  (** mean power, one busy core *)
+  two_instances_w : float;  (** mean power, both cores busy *)
+  doubled_w : float;  (** 2x the one-instance power: the naive extrapolation *)
+}
+
+type b_result = {
+  commands : (int * string * float * float) list;
+      (** (id, kind, start s, finish s) for the three commands *)
+  overlap_s : float;  (** how long commands 1 and 2 overlap *)
+}
+
+type c_result = {
+  after_idle_mj : float;
+  after_busy_mj : float;
+  after_idle_peak_w : float;
+  after_busy_peak_w : float;
+}
+
+val run_a : ?seed:int -> unit -> a_result * Report.series list
+val run_b : ?seed:int -> unit -> b_result * Report.series list
+val run_c : ?seed:int -> unit -> c_result * Report.series list
+val run : ?seed:int -> unit -> Report.t * (a_result * b_result * c_result)

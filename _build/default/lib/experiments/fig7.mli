@@ -1,0 +1,16 @@
+(** Figure 7: resource multiplexing with and without psbox.
+
+    Renders the CPU schedule (which app occupies which core over time) and
+    the DSP command stream, in both worlds: without psbox the kernel freely
+    interleaves apps; with psbox the sandboxed app's activity happens inside
+    exclusive spatial/temporal balloons. *)
+
+type result = {
+  cpu_balloon_count : int;  (** coscheduling periods observed *)
+  cpu_forced_idle_ms : float;  (** core time kept idle by spatial balloons *)
+  dsp_balloon_count : int;
+  dsp_overlap_wo_psbox : bool;  (** foreign commands overlapped dgemm's *)
+  dsp_overlap_w_psbox : bool;  (** must be false *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

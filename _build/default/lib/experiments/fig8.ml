@@ -1,0 +1,148 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+module Cpu_apps = Psbox_workloads.Cpu_apps
+module Gpu_apps = Psbox_workloads.Gpu_apps
+module Dsp_apps = Psbox_workloads.Dsp_apps
+module Wifi_apps = Psbox_workloads.Wifi_apps
+
+type instance = {
+  i_name : string;
+  i_sandboxed : bool;
+  i_before : float;
+  i_after : float;
+}
+
+type hw_result = {
+  h_hw : string;
+  h_unit : string;
+  h_instances : instance list;
+  h_total_loss_pct : float;
+}
+
+(* Generic before/after harness: spawn instances, warm up, measure rates,
+   sandbox the last instance, measure again. *)
+let before_after ~hw ~unit ~make_sys ~spawn ~names ~key ~target ~warmup ~window
+    ~seed =
+  let sys = make_sys ~seed in
+  let apps =
+    List.map
+      (fun name ->
+        let app = System.new_app sys ~name in
+        spawn sys app;
+        app)
+      names
+  in
+  System.start sys;
+  System.run_for sys warmup;
+  let snap () = List.map (fun a -> System.counter a key) apps in
+  let s0 = snap () in
+  System.run_for sys window;
+  let s1 = snap () in
+  let secs = Time.to_sec_f window in
+  let before = List.map2 (fun a b -> (b -. a) /. secs) s0 s1 in
+  let star = List.nth apps (List.length apps - 1) in
+  let box = Psbox.create sys ~app:star.System.app_id ~hw:[ target ] in
+  Psbox.enter box;
+  System.run_for sys warmup;
+  let s2 = snap () in
+  System.run_for sys window;
+  let s3 = snap () in
+  let after = List.map2 (fun a b -> (b -. a) /. secs) s2 s3 in
+  Psbox.leave box;
+  System.shutdown sys;
+  let instances =
+    List.mapi
+      (fun i ((name, b), a) ->
+        {
+          i_name = (if i = List.length names - 1 then name ^ "*" else name);
+          i_sandboxed = i = List.length names - 1;
+          i_before = b;
+          i_after = a;
+        })
+      (List.combine (List.combine names before) after)
+  in
+  let total l = List.fold_left ( +. ) 0.0 l in
+  {
+    h_hw = hw;
+    h_unit = unit;
+    h_instances = instances;
+    h_total_loss_pct = -.Common.pct (total before) (total after);
+  }
+
+let cpu ?(seed = 3) () =
+  before_after ~hw:"CPU" ~unit:"KB/s"
+    ~make_sys:(fun ~seed -> System.create ~seed ~cores:2 ())
+    ~spawn:(fun sys app -> ignore (Cpu_apps.calib3d sys ~iterations:1_000_000 app))
+    ~names:[ "calib3d"; "calib3d"; "calib3d" ]
+    ~key:"kb" ~target:Psbox.Cpu ~warmup:(Time.ms 500) ~window:(Time.sec 2) ~seed
+
+let dsp ?(seed = 4) () =
+  before_after ~hw:"DSP" ~unit:"GFLOPS"
+    ~make_sys:(fun ~seed -> System.create ~seed ~cores:2 ~dsp:true ())
+    ~spawn:(fun sys app -> ignore (Dsp_apps.sgemm sys ~kernels:1_000_000 app))
+    ~names:[ "sgemm1"; "sgemm2"; "sgemm3" ]
+    ~key:"gflops" ~target:Psbox.Dsp ~warmup:(Time.ms 500) ~window:(Time.sec 4)
+    ~seed
+
+let gpu ?(seed = 5) () =
+  before_after ~hw:"GPU" ~unit:"cmds/s"
+    ~make_sys:(fun ~seed -> System.create ~seed ~cores:2 ~gpu:true ())
+    ~spawn:(fun sys app ->
+      ignore (Gpu_apps.cube sys ~frames:1_000_000 ~cmds:8 ~units:2 app))
+    ~names:[ "cube1"; "cube2" ]
+    ~key:"cmds" ~target:Psbox.Gpu ~warmup:(Time.ms 500) ~window:(Time.sec 2)
+    ~seed
+
+let wifi ?(seed = 6) () =
+  before_after ~hw:"WiFi" ~unit:"KB/s"
+    ~make_sys:(fun ~seed -> System.bbb ~seed ())
+    ~spawn:(fun sys app -> ignore (Wifi_apps.wget sys ~kb:1_000_000 app))
+    ~names:[ "wget1"; "wget2" ]
+    ~key:"kb" ~target:Psbox.Wifi ~warmup:(Time.ms 500) ~window:(Time.sec 2)
+    ~seed
+
+let run ?(seed = 3) () =
+  let results =
+    [ cpu ~seed (); dsp ~seed:(seed + 1) (); gpu ~seed:(seed + 2) ();
+      wifi ~seed:(seed + 3) () ]
+  in
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun i ->
+            [
+              r.h_hw;
+              i.i_name;
+              Printf.sprintf "%.1f %s" i.i_before r.h_unit;
+              Printf.sprintf "%.1f %s" i.i_after r.h_unit;
+              Report.fmt_pct (Common.pct i.i_before i.i_after);
+            ])
+          r.h_instances)
+      results
+  in
+  let report =
+    {
+      Report.id = "fig8";
+      title = "Confinement of throughput loss (paper Fig. 8)";
+      items =
+        [
+          Report.Text
+            "Co-running instances of the same app; the starred instance \
+             enters its psbox between the two measurements. Only it should \
+             lose throughput.";
+          Report.table
+            ~headers:[ "HW"; "instance"; "before"; "after"; "delta" ]
+            rows;
+          Report.Text
+            (String.concat "; "
+               (List.map
+                  (fun r ->
+                    Printf.sprintf "%s total loss %.1f%%" r.h_hw
+                      r.h_total_loss_pct)
+                  results));
+        ];
+    }
+  in
+  (report, results)

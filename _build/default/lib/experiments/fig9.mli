@@ -1,0 +1,17 @@
+(** Figure 9 / §6.4: the end-to-end VR use case.
+
+    The rendering task periodically enters its psbox, observes its own CPU
+    power without the gesture task's input-dependent noise, and trades
+    fidelity for power. A fidelity sweep establishes the achievable power
+    range; an adaptive run shows the controller honouring a budget. *)
+
+type result = {
+  fidelity_power_w : (int * float) list;  (** psbox-observed watts per level *)
+  power_range_ratio : float;  (** max/min over the fidelity ladder *)
+  adaptive_mean_w : float;  (** mean observed power under the controller *)
+  adaptive_budget_w : float;
+  adaptive_final_fidelity : int;
+  observations : int;  (** number of psbox observation windows *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

@@ -1,0 +1,16 @@
+(** §7 extension 3: why psbox is infeasible on cellular interfaces today.
+
+    The LTE radio's RRC states are controlled by network-agreed timers, so
+    the OS cannot save/restore them per sandbox. The same fixed upload
+    therefore costs wildly different energy depending on what state the
+    neighbours left the radio in — and no accounting or balloon can undo
+    that, which is exactly why the paper defers cellular psbox to future
+    hardware support. *)
+
+type result = {
+  alone_mj_per_xfer : float;  (** mean energy window per upload, radio otherwise idle *)
+  corun_mj_per_xfer : float;  (** same uploads with background chatter keeping the radio hot *)
+  swing_pct : float;  (** relative difference: the uncontrollable-state error *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

@@ -1,0 +1,21 @@
+(** §2.2: the two metering methods, and why neither fixes entanglement.
+
+    A linear power model [P = b0 + b1*active + b2*busy_cores] is fitted
+    offline from solo calibration runs (the way prior work builds models at
+    development time). On solo validation traces it predicts the rail well;
+    under co-running, system-level prediction still holds (the model sees
+    total utilization) — but attributing either the modelled or the
+    directly-measured power to one app still requires dividing entangled
+    totals, which is the paper's point: metering improved, accounting
+    cannot. *)
+
+type result = {
+  fit_rmse_w : float;  (** model residual on its calibration data *)
+  solo_rmse_w : float;  (** prediction error on an unseen solo workload *)
+  corun_rmse_w : float;  (** prediction error on an unseen co-run workload *)
+  app_share_error_pct : float;
+      (** error of the model-based per-app share for the observed app in the
+          co-run, vs its psbox ground truth *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

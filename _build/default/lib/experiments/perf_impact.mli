@@ -1,0 +1,19 @@
+(** §6.2: performance impact of psbox.
+
+    Latency: apps may see extra latency on hardware access when it triggers
+    a balloon switch (task shootdown on the CPU; drain phases on command
+    queues and the NIC). Measured as the change in mean request latency
+    between a run without psbox and an identical run with one app sandboxed.
+
+    Throughput: the exclusivity of balloons loses sharing opportunity; the
+    total hardware throughput drops by a few percent (the loss itself is
+    confined to the sandboxed app — Figure 8). *)
+
+type hw_impact = {
+  p_hw : string;
+  p_lat_before_us : float;  (** mean request latency without psbox *)
+  p_lat_after_us : float;  (** with one app sandboxed *)
+  p_total_loss_pct : float;  (** total throughput loss *)
+}
+
+val run : ?seed:int -> unit -> Report.t * hw_impact list

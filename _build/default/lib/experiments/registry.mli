@@ -1,0 +1,14 @@
+(** Experiment registry: every table and figure of the paper, addressable by
+    id from the CLI and the benchmark harness. *)
+
+type entry = {
+  e_id : string;
+  e_title : string;
+  e_run : unit -> Report.t;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val ids : string list

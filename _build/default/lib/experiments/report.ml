@@ -1,0 +1,130 @@
+open Psbox_engine
+
+type table = { headers : string list; rows : string list list }
+
+type series = {
+  s_name : string;
+  s_points : (float * float) list;
+  s_unit : string;
+}
+
+type item =
+  | Table of table
+  | Chart of { label : string; series : series list }
+  | Text of string
+
+type t = { id : string; title : string; items : item list }
+
+let table ~headers rows = Table { headers; rows }
+let chart ~label series = Chart { label; series }
+
+let downsample_points points limit =
+  let n = List.length points in
+  if n <= limit then points
+  else begin
+    let arr = Array.of_list points in
+    let step = float_of_int n /. float_of_int limit in
+    List.init limit (fun i -> arr.(int_of_float (float_of_int i *. step)))
+  end
+
+let series_of_samples ~name samples =
+  let points =
+    Array.to_list samples
+    |> List.map (fun s ->
+           (Time.to_sec_f s.Psbox_meter.Sample.time, s.Psbox_meter.Sample.watts))
+  in
+  { s_name = name; s_points = downsample_points points 240; s_unit = "W" }
+
+let series_of_timeline ~name tl ~from ~until =
+  let period = max (Time.us 100) ((until - from) / 240) in
+  let points =
+    Array.to_list (Timeline.samples tl ~period ~from ~until)
+    |> List.map (fun (t, v) -> (Time.to_sec_f t, v))
+  in
+  { s_name = name; s_points = points; s_unit = "W" }
+
+(* --- rendering ---------------------------------------------------- *)
+
+let bars = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+              "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values lo hi =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun v ->
+      let frac = if hi > lo then (v -. lo) /. (hi -. lo) else 0.0 in
+      let idx = max 0 (min 8 (int_of_float (frac *. 8.0 +. 0.5))) in
+      Buffer.add_string buf bars.(idx))
+    values;
+  Buffer.contents buf
+
+let render_series fmt s =
+  match s.s_points with
+  | [] -> Format.fprintf fmt "    %-24s (no data)@," s.s_name
+  | points ->
+      let values = List.map snd points in
+      let lo = List.fold_left Float.min Float.infinity values in
+      let hi = List.fold_left Float.max Float.neg_infinity values in
+      let t0 = fst (List.hd points) in
+      let t1 = fst (List.nth points (List.length points - 1)) in
+      let display = downsample_points points 72 in
+      Format.fprintf fmt "    %-24s [%s]@,    %-24s %.3g..%.3g %s over %.3g..%.3gs@,"
+        s.s_name
+        (sparkline (List.map snd display) lo hi)
+        "" lo hi s.s_unit t0 t1
+
+let pad n s =
+  let len = String.length s in
+  (* crude utf8-aware padding: count display chars, not bytes *)
+  let display_len =
+    let count = ref 0 in
+    String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr count) s;
+    !count
+  in
+  ignore len;
+  if display_len >= n then s else s ^ String.make (n - display_len) ' '
+
+let render_table fmt { headers; rows } =
+  let ncols = List.length headers in
+  let width col =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row col with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      (String.length (List.nth headers col))
+      rows
+  in
+  let widths = List.init ncols width in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i w ->
+          let cell = match List.nth_opt cells i with Some c -> c | None -> "" in
+          pad w cell)
+        widths
+    in
+    Format.fprintf fmt "    | %s |@," (String.concat " | " padded)
+  in
+  render_row headers;
+  Format.fprintf fmt "    |%s|@,"
+    (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter render_row rows
+
+let render fmt t =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "== %s: %s ==@," t.id t.title;
+  List.iter
+    (fun item ->
+      match item with
+      | Text s -> Format.fprintf fmt "  %s@," s
+      | Table tbl -> render_table fmt tbl
+      | Chart { label; series } ->
+          Format.fprintf fmt "  %s@," label;
+          List.iter (render_series fmt) series)
+    t.items;
+  Format.fprintf fmt "@]@."
+
+let print t = render Format.std_formatter t
+let fmt_mj mj = Printf.sprintf "%.0fmJ" mj
+let fmt_pct p = Printf.sprintf "%+.1f%%" p

@@ -1,0 +1,43 @@
+(** ASCII rendering of experiment results.
+
+    Every experiment produces a {!t}: a titled list of tables, power-trace
+    sparklines and notes, printed the way the paper's tables and figures
+    read. The benchmark harness and the CLI share this renderer. *)
+
+type table = { headers : string list; rows : string list list }
+
+type series = {
+  s_name : string;
+  s_points : (float * float) list;  (** (seconds, value) *)
+  s_unit : string;
+}
+
+type item =
+  | Table of table
+  | Chart of { label : string; series : series list }
+  | Text of string
+
+type t = { id : string; title : string; items : item list }
+
+val table : headers:string list -> string list list -> item
+
+val chart : label:string -> series list -> item
+
+val series_of_samples : name:string -> Psbox_meter.Sample.t array -> series
+(** Downsamples to at most ~240 points for display. *)
+
+val series_of_timeline :
+  name:string ->
+  Psbox_engine.Timeline.t ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  series
+
+val render : Format.formatter -> t -> unit
+
+val print : t -> unit
+(** [render] on stdout. *)
+
+val fmt_mj : float -> string
+val fmt_pct : float -> string
+(** Signed percentage with one decimal. *)

@@ -1,0 +1,20 @@
+(** §2.5: the GPU power side channel, and psbox closing it.
+
+    A victim browser opens one of ten websites; an attacker app, running a
+    light GPU workload as camouflage, watches power and infers the site with
+    a DTW nearest-neighbour classifier trained on solo traces.
+
+    Without psbox the attacker observes the shared GPU rail (what per-app
+    accounting effectively reveals) and succeeds far above chance. With
+    psbox as the only way to observe power, the attacker sees only its own
+    sandboxed view — the victim's activity is masked to idle — and falls to
+    chance. *)
+
+type result = {
+  trials : int;
+  success_no_psbox : float;  (** attacker success rate, shared observation *)
+  success_psbox : float;  (** attacker success rate, sandboxed observation *)
+  random_guess : float;  (** 1/10 *)
+}
+
+val run : ?seed:int -> ?trials_per_site:int -> unit -> Report.t * result

@@ -1,0 +1,3 @@
+(** Figure 5 (Table): the benchmark roster. *)
+
+val run : unit -> Report.t

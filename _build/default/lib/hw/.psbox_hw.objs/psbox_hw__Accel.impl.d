@@ -1,0 +1,1 @@
+lib/hw/accel.ml: Array Dvfs Float List Power_rail Psbox_engine Sim Time

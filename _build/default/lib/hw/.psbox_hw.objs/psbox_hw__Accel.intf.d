@@ -1,0 +1,1 @@
+lib/hw/accel.mli: Dvfs Power_rail Psbox_engine

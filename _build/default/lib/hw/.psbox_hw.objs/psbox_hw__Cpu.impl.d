@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Array Dvfs Power_rail Psbox_engine Sim Time

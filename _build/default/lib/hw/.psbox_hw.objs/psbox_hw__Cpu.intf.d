@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Dvfs Power_rail Psbox_engine

@@ -1,0 +1,1 @@
+lib/hw/display.ml: Hashtbl Power_rail Printf Psbox_engine Sim

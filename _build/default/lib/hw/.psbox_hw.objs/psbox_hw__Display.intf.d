@@ -1,0 +1,1 @@
+lib/hw/display.mli: Power_rail Psbox_engine

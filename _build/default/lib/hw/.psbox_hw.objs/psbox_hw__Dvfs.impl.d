@@ -1,0 +1,1 @@
+lib/hw/dvfs.ml: Array Psbox_engine Sim Time

@@ -1,0 +1,1 @@
+lib/hw/gps.ml: Hashtbl Power_rail Printf Psbox_engine Sim Time

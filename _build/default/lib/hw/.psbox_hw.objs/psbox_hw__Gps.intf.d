@@ -1,0 +1,1 @@
+lib/hw/gps.mli: Power_rail Psbox_engine

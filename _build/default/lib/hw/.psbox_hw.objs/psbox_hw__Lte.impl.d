@@ -1,0 +1,1 @@
+lib/hw/lte.ml: Hashtbl List Power_rail Psbox_engine Queue Sim Time

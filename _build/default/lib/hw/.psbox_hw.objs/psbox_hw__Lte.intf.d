@@ -1,0 +1,1 @@
+lib/hw/lte.mli: Power_rail Psbox_engine

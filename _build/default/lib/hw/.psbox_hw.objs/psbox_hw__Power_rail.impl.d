@@ -1,0 +1,1 @@
+lib/hw/power_rail.ml: Psbox_engine Sim Timeline

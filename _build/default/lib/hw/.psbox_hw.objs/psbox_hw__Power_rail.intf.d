@@ -1,0 +1,1 @@
+lib/hw/power_rail.mli: Psbox_engine

@@ -1,0 +1,1 @@
+lib/hw/wifi.ml: Array List Power_rail Psbox_engine Sim Time

@@ -1,0 +1,1 @@
+lib/hw/wifi.mli: Power_rail Psbox_engine

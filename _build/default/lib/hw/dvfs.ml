@@ -1,0 +1,64 @@
+open Psbox_engine
+
+type opp = { freq_mhz : int; core_w : float; uncore_w : float }
+
+type governor =
+  | Ondemand of { up_threshold : float; sampling : Time.span }
+  | Performance
+  | Userspace
+
+type t = {
+  sim : Sim.t;
+  opps : opp array;
+  governor : governor;
+  get_util : unit -> float;
+  on_change : unit -> unit;
+  mutable index : int;
+  mutable tick : Sim.handle option;
+  mutable stopped : bool;
+  mutable frozen : bool;
+}
+
+let set_index d i =
+  let i = max 0 (min i (Array.length d.opps - 1)) in
+  if i <> d.index then begin
+    d.index <- i;
+    d.on_change ()
+  end
+
+let rec governor_tick d sampling up_threshold () =
+  if not d.stopped then begin
+    let util = d.get_util () in
+    if not d.frozen then begin
+      if util >= up_threshold then set_index d (Array.length d.opps - 1)
+      else set_index d (d.index - 1)
+    end;
+    d.tick <- Some (Sim.schedule_after d.sim sampling (governor_tick d sampling up_threshold))
+  end
+
+let create sim ~opps ~governor ~get_util ~on_change =
+  if Array.length opps = 0 then invalid_arg "Dvfs.create: no OPPs";
+  let index = match governor with Performance -> Array.length opps - 1 | Ondemand _ | Userspace -> 0 in
+  let d =
+    { sim; opps; governor; get_util; on_change; index; tick = None;
+      stopped = false; frozen = false }
+  in
+  (match governor with
+  | Ondemand { up_threshold; sampling } ->
+      d.tick <- Some (Sim.schedule_after sim sampling (governor_tick d sampling up_threshold))
+  | Performance | Userspace -> ());
+  d
+
+let opp_index d = d.index
+let current d = d.opps.(d.index)
+let opps d = d.opps
+let set_opp d i = set_index d i
+let max_index d = Array.length d.opps - 1
+
+let freeze d = d.frozen <- true
+let thaw d = d.frozen <- false
+let frozen d = d.frozen
+
+let stop d =
+  d.stopped <- true;
+  match d.tick with Some h -> Sim.cancel h | None -> ()

@@ -1,0 +1,94 @@
+open Psbox_engine
+
+type state = Off | Acquiring | Tracking
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  cold_start : Time.span;
+  acquire_w : float;
+  track_w : float;
+  off_w : float;
+  rail : Power_rail.t;
+  mutable st : state;
+  mutable fix_timer : Sim.handle option;
+  subs : (int, unit) Hashtbl.t;
+  app_rails : (int, Power_rail.t) Hashtbl.t;
+}
+
+let create sim ?(name = "gps") ?(cold_start = Time.sec 8) ?(acquire_w = 0.18)
+    ?(track_w = 0.09) ?(off_w = 0.002) () =
+  {
+    sim;
+    name;
+    cold_start;
+    acquire_w;
+    track_w;
+    off_w;
+    rail = Power_rail.create sim ~name ~idle_w:off_w;
+    st = Off;
+    fix_timer = None;
+    subs = Hashtbl.create 4;
+    app_rails = Hashtbl.create 4;
+  }
+
+let rail g = g.rail
+let state g = g.st
+let subscribed g ~app = Hashtbl.mem g.subs app
+let subscribers g = Hashtbl.length g.subs
+let has_fix g = g.st = Tracking
+
+let device_w g =
+  match g.st with Off -> g.off_w | Acquiring -> g.acquire_w | Tracking -> g.track_w
+
+let app_rail g ~app =
+  match Hashtbl.find_opt g.app_rails app with
+  | Some r -> r
+  | None ->
+      let r =
+        Power_rail.create g.sim
+          ~name:(Printf.sprintf "%s.app%d" g.name app)
+          ~idle_w:g.off_w
+      in
+      Hashtbl.add g.app_rails app r;
+      r
+
+let update g =
+  Power_rail.set_power g.rail (device_w g);
+  Hashtbl.iter
+    (fun app r ->
+      let w = if subscribed g ~app then device_w g else g.off_w in
+      Power_rail.set_power r w)
+    g.app_rails
+
+let subscribe g ~app =
+  if not (subscribed g ~app) then begin
+    Hashtbl.replace g.subs app ();
+    ignore (app_rail g ~app);
+    (if g.st = Off then begin
+       g.st <- Acquiring;
+       g.fix_timer <-
+         Some
+           (Sim.schedule_after g.sim g.cold_start (fun () ->
+                g.fix_timer <- None;
+                if g.st = Acquiring then begin
+                  g.st <- Tracking;
+                  update g
+                end))
+     end);
+    update g
+  end
+
+let unsubscribe g ~app =
+  if subscribed g ~app then begin
+    Hashtbl.remove g.subs app;
+    if Hashtbl.length g.subs = 0 then begin
+      (match g.fix_timer with
+      | Some h ->
+          Sim.cancel h;
+          g.fix_timer <- None
+      | None -> ());
+      g.st <- Off
+    end;
+    update g
+  end

@@ -1,0 +1,18 @@
+open Psbox_engine
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  idle_w : float;
+  timeline : Timeline.t;
+}
+
+let create sim ~name ~idle_w =
+  { sim; name; idle_w; timeline = Timeline.create ~initial:idle_w () }
+
+let name rail = rail.name
+let idle_w rail = rail.idle_w
+let set_power rail w = Timeline.set rail.timeline (Sim.now rail.sim) w
+let power rail = Timeline.value_at rail.timeline (Sim.now rail.sim)
+let energy_j rail ~from ~until = Timeline.integrate rail.timeline from until
+let timeline rail = rail.timeline

@@ -1,0 +1,30 @@
+(** A measurable power rail.
+
+    Each hardware component drives exactly one rail; this mirrors the paper's
+    prototype where CPU, GPU, DSP and the WiFi module each sit behind a
+    distinct rail of the in-situ power meter. The rail keeps the full
+    piecewise-constant power history so energy can be integrated exactly and
+    a DAQ can resample it at any rate. *)
+
+type t
+
+val create : Psbox_engine.Sim.t -> name:string -> idle_w:float -> t
+(** A rail whose draw starts at [idle_w] watts. *)
+
+val name : t -> string
+
+val idle_w : t -> float
+(** The rail's baseline (idle) draw in watts. *)
+
+val set_power : t -> float -> unit
+(** Record the rail's instantaneous draw changing to the given watts at the
+    current simulated time. *)
+
+val power : t -> float
+(** The current draw in watts. *)
+
+val energy_j : t -> from:Psbox_engine.Time.t -> until:Psbox_engine.Time.t -> float
+(** Exact energy over a window, in joules. *)
+
+val timeline : t -> Psbox_engine.Timeline.t
+(** The underlying power history. *)

@@ -1,0 +1,1 @@
+lib/kernel/accel_driver.ml: Float Hashtbl List Psbox_engine Psbox_hw Queue Sim Time

@@ -1,0 +1,1 @@
+lib/kernel/accel_driver.mli: Psbox_engine Psbox_hw

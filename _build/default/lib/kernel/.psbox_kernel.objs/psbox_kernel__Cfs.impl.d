@@ -1,0 +1,1 @@
+lib/kernel/cfs.ml: Entity Float List Set Task

@@ -1,0 +1,1 @@
+lib/kernel/cfs.mli: Entity Psbox_engine

@@ -1,0 +1,1 @@
+lib/kernel/entity.ml: Format List Task

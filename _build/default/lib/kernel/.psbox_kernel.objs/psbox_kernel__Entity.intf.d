@@ -1,0 +1,1 @@
+lib/kernel/entity.mli: Format Task

@@ -1,0 +1,1 @@
+lib/kernel/net_sched.ml: Float Hashtbl List Psbox_engine Psbox_hw Queue Sim Time

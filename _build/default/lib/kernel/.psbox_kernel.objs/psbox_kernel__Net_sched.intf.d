@@ -1,0 +1,1 @@
+lib/kernel/net_sched.mli: Psbox_engine Psbox_hw

@@ -1,0 +1,1 @@
+lib/kernel/power_vstate.ml: Psbox_engine Psbox_hw Sim Time

@@ -1,0 +1,1 @@
+lib/kernel/power_vstate.mli: Psbox_engine Psbox_hw

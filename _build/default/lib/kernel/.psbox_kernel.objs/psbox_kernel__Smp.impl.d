@@ -1,0 +1,1 @@
+lib/kernel/smp.ml: Array Buffer Cfs Entity Float Hashtbl List Printf Psbox_engine Psbox_hw Sim Task Time Trace

@@ -1,0 +1,1 @@
+lib/kernel/smp.mli: Psbox_engine Psbox_hw Task

@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Accel_driver Hashtbl List Net_sched Psbox_engine Psbox_hw Rng Sim Smp Time

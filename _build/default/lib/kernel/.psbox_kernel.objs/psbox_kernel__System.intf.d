@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Accel_driver Hashtbl Net_sched Psbox_engine Psbox_hw Smp

@@ -1,0 +1,52 @@
+(** Per-core CFS runqueue.
+
+    One instance manages the runnable entities of one core, ordered by
+    vruntime (the scheduling credit). The running entity is dequeued while it
+    runs, as in Linux. [min_vruntime] advances monotonically and anchors the
+    placement of newly woken entities so sleepers neither starve nor bank
+    unbounded credit. *)
+
+type t
+
+val create : core:int -> t
+
+val core : t -> int
+
+val nice0_weight : float
+(** The weight against which vruntime deltas are normalized (1024.). *)
+
+val enqueue : t -> Entity.t -> unit
+(** Put a runnable entity on the queue. No-op if already queued. *)
+
+val dequeue : t -> Entity.t -> unit
+
+val requeue : t -> Entity.t -> unit
+(** [dequeue] then [enqueue]; call after changing a queued entity's
+    vruntime. *)
+
+val leftmost : t -> Entity.t option
+(** The queued entity with the least vruntime (excluding the running one). *)
+
+val queued : t -> Entity.t list
+(** All queued entities, least vruntime first. *)
+
+val n_queued : t -> int
+
+val curr : t -> Entity.t option
+val set_curr : t -> Entity.t option -> unit
+
+val min_vruntime : t -> float
+
+val place_new : t -> Entity.t -> unit
+(** Give a brand-new entity a fair starting vruntime ([max] of its own and
+    the queue's [min_vruntime]). *)
+
+val place_woken : t -> Entity.t -> unit
+(** Place a woken sleeper: vruntime is pulled up to
+    [min_vruntime - wakeup_bonus] so long sleeps do not bank credit. *)
+
+val charge : t -> Entity.t -> Psbox_engine.Time.span -> unit
+(** Bill [span] of execution to an entity: advances its vruntime by
+    [span * nice0/weight] and updates [min_vruntime]. *)
+
+val update_min_vruntime : t -> unit

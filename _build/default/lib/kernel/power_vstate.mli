@@ -1,0 +1,44 @@
+(** Power-state virtualization (§4.1).
+
+    Each psbox gets a private copy of the operating/idle power state of every
+    hardware component it is bound to: CPU and accelerator OPP, NIC TX level
+    and power-save state. On balloon entry the world's state is saved and
+    the psbox's own saved state restored (pristine base state on first
+    entry), so the sandboxed app never observes another app's lingering
+    state; on exit the psbox state is saved and the world state restored, so
+    the app leaves no residual state behind.
+
+    Because a real ondemand governor samples over windows longer than a
+    balloon, the virtualized state also runs a per-psbox governor step at
+    each balloon exit: if the device was substantially busy during the
+    balloon the psbox's saved OPP jumps to the top, otherwise it decays one
+    step — a faithful per-sandbox ondemand at balloon granularity.
+
+    Off/suspended states are {e not} virtualized (reconstructing them per
+    psbox would be prohibitively expensive, and revealing them would itself
+    be a side channel); the virtual power meter masks them as idle power
+    instead (see {!module:Psbox_core} in the core library). *)
+
+type device =
+  | Cpu_dev of Psbox_hw.Cpu.t
+  | Accel_dev of Psbox_hw.Accel.t
+  | Wifi_dev of Psbox_hw.Wifi.t
+
+type t
+(** The virtual power state of one device for one psbox. *)
+
+val create : Psbox_engine.Sim.t -> device -> t
+(** The psbox's initial saved state is the device's pristine base state
+    (lowest OPP; NIC power-save). *)
+
+val on_balloon_start : t -> unit
+(** Save the world state, restore the psbox state. *)
+
+val on_balloon_stop : t -> unit
+(** Run the per-psbox governor step, save the psbox state, restore the world
+    state. *)
+
+val saved_opp : t -> int option
+(** The psbox's saved OPP index (CPU/accelerator devices; [None] for NIC). *)
+
+val saved_nic_state : t -> Psbox_hw.Wifi.power_state option

@@ -1,0 +1,791 @@
+open Psbox_engine
+
+type config = {
+  tick : Time.span;
+  wakeup_granularity : float;
+  ipi_delay : Time.span;
+  max_loan : float;
+      (* a single coscheduling period ends once any core's loan exceeds
+         this much vruntime: a balloon whose entity keeps the best credit
+         on one core must still not starve waiters on the others *)
+  max_period : Time.span;
+      (* hard bound on one coscheduling period; re-entry is immediate if
+         the balloon still holds the best credit, so this only bounds how
+         stale the loan bookkeeping can get *)
+  confine_cost : bool;
+      (* the paper's key design: bill balloon-forced idle to the sandboxed
+         app and settle scheduling loans. Disable only for the ablation
+         bench, which shows unsandboxed apps losing their share without
+         it. *)
+}
+
+let default_config =
+  {
+    tick = Time.ms 1;
+    wakeup_granularity = 1e6;
+    ipi_delay = Time.us 5;
+    max_loan = 2e7;
+    max_period = Time.ms 20;
+    confine_cost = true;
+  }
+
+type balloon = {
+  b_app : int;
+  b_entities : Entity.t array;
+  mutable b_live : bool;
+  mutable b_started : Time.t;
+  mutable b_joined : int;
+  mutable b_metering : bool;
+  mutable b_intervals : (Time.t * Time.t) list; (* newest first *)
+  mutable b_on_start : unit -> unit;
+  mutable b_on_stop : unit -> unit;
+  mutable b_total_loan : float;
+}
+
+type t = {
+  sim : Sim.t;
+  cpu : Psbox_hw.Cpu.t;
+  cfg : config;
+  rqs : Cfs.t array;
+  curr_started : Time.t array;
+  work_events : Sim.handle option array;
+  tick_events : Sim.handle option array;
+  span_tag : int option array; (* app code of the open trace span per core *)
+  task_entities : (int, Entity.t) Hashtbl.t; (* tid -> entity when unsandboxed *)
+  apps : (int, Task.t list ref) Hashtbl.t;
+  mutable balloons : balloon list;
+  mutable live : balloon option;
+  trace : (int * int) Trace.spans;
+  mutable latencies : (int * float) list; (* (app, wake-to-run us), newest first *)
+  mutable on_task_exit : Task.t -> unit;
+  mutable stopped : bool;
+}
+
+let create sim cpu ?(config = default_config) () =
+  let n = Psbox_hw.Cpu.cores cpu in
+  {
+    sim;
+    cpu;
+    cfg = config;
+    rqs = Array.init n (fun core -> Cfs.create ~core);
+    curr_started = Array.make n Time.zero;
+    work_events = Array.make n None;
+    tick_events = Array.make n None;
+    span_tag = Array.make n None;
+    task_entities = Hashtbl.create 64;
+    apps = Hashtbl.create 16;
+    balloons = [];
+    live = None;
+    trace = Trace.spans ();
+    latencies = [];
+    on_task_exit = (fun _ -> ());
+    stopped = false;
+  }
+
+let cpu smp = smp.cpu
+let cores smp = Array.length smp.rqs
+let set_on_task_exit smp f = smp.on_task_exit <- f
+
+let app_tasks smp ~app =
+  match Hashtbl.find_opt smp.apps app with Some l -> !l | None -> []
+
+let sched_trace smp = smp.trace
+let wakeup_latencies_us smp = Array.of_list (List.rev_map snd smp.latencies)
+
+let wakeup_latencies_of smp ~app =
+  List.rev smp.latencies
+  |> List.filter_map (fun (a, l) -> if a = app then Some l else None)
+  |> Array.of_list
+
+let balloon_of_app smp app =
+  List.find_opt (fun b -> b.b_app = app) smp.balloons
+
+(* The task actually executing inside an entity, if any. *)
+let running_task_of e =
+  match e.Entity.kind with
+  | Entity.ETask t -> if t.Task.state = Task.Running then Some t else None
+  | Entity.EGroup g -> g.Entity.gcurr
+
+let running_app smp ~core =
+  match Cfs.curr smp.rqs.(core) with
+  | None -> None
+  | Some e -> (
+      match running_task_of e with Some t -> Some t.Task.app | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans                                                          *)
+
+let set_span smp core tag =
+  let now = Sim.now smp.sim in
+  match (smp.span_tag.(core), tag) with
+  | Some a, Some b when a = b -> ()
+  | old, _ ->
+      (match old with
+      | Some a -> Trace.close_span smp.trace now (core, a)
+      | None -> ());
+      (match tag with
+      | Some b -> Trace.open_span smp.trace now (core, b)
+      | None -> ());
+      smp.span_tag.(core) <- tag
+
+(* ------------------------------------------------------------------ *)
+(* Core scheduling machinery                                           *)
+
+(* Physical identity between the rq's current entity and [e]. *)
+let curr_is rq e =
+  match Cfs.curr rq with Some c -> c == e | None -> false
+
+let cancel_work smp core =
+  match smp.work_events.(core) with
+  | Some h ->
+      Sim.cancel h;
+      smp.work_events.(core) <- None
+  | None -> ()
+
+let update_curr smp core =
+  let rq = smp.rqs.(core) in
+  match Cfs.curr rq with
+  | None -> ()
+  | Some e ->
+      let now = Sim.now smp.sim in
+      let delta = now - smp.curr_started.(core) in
+      if delta > 0 then begin
+        let forced_idle =
+          match e.Entity.kind with
+          | Entity.EGroup g -> g.Entity.gcurr = None
+          | Entity.ETask _ -> false
+        in
+        if smp.cfg.confine_cost || not forced_idle then Cfs.charge rq e delta;
+        (match running_task_of e with
+        | Some t -> t.Task.remaining <- t.Task.remaining - delta
+        | None -> ());
+        smp.curr_started.(core) <- now
+      end
+
+let put_prev smp core =
+  let rq = smp.rqs.(core) in
+  match Cfs.curr rq with
+  | None -> ()
+  | Some e ->
+      cancel_work smp core;
+      (match running_task_of e with
+      | Some t -> if t.Task.state = Task.Running then t.Task.state <- Task.Runnable
+      | None -> ());
+      (match e.Entity.kind with
+      | Entity.EGroup g -> g.Entity.gcurr <- None
+      | Entity.ETask _ -> ());
+      Cfs.set_curr rq None;
+      if Entity.runnable e then Cfs.enqueue rq e;
+      Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
+      set_span smp core None
+
+(* Program advancement: drive a task's program until it yields an action
+   that leaves the CPU or new work to run. Returns [`Runs] if the task has
+   fresh work and should keep the CPU. *)
+let rec advance smp t fuel =
+  if fuel <= 0 then failwith "Smp: task program made no progress (10k steps)";
+  match t.Task.program () with
+  | Task.Run s -> if s <= 0 then advance smp t (fuel - 1) else (t.Task.remaining <- s; `Runs)
+  | Task.Yield ->
+      t.Task.remaining <- 0;
+      `Off
+  | Task.Block ->
+      if t.Task.wake_pending then begin
+        t.Task.wake_pending <- false;
+        advance smp t (fuel - 1)
+      end
+      else begin
+        t.Task.state <- Task.Blocked;
+        `Off
+      end
+  | Task.Sleep s ->
+      t.Task.state <- Task.Blocked;
+      let smp' = smp in
+      ignore (Sim.schedule_after smp.sim s (fun () -> wake_ref smp' t));
+      `Off
+  | Task.Exit ->
+      t.Task.state <- Task.Exited;
+      `Off
+
+and wake_ref smp t = !wake_impl smp t
+and wake_impl : (t -> Task.t -> unit) ref = ref (fun _ _ -> assert false)
+
+let record_latency smp t =
+  if t.Task.last_wake >= 0 then begin
+    let lat = Time.to_us_f (Sim.now smp.sim - t.Task.last_wake) in
+    smp.latencies <- (t.Task.app, lat) :: smp.latencies;
+    t.Task.last_wake <- -1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                             *)
+
+let rec schedule_work smp core t =
+  cancel_work smp core;
+  let span = max 0 t.Task.remaining in
+  smp.work_events.(core) <- Some (Sim.schedule_after smp.sim span (fun () -> work_fired smp core))
+
+and work_fired smp core =
+  smp.work_events.(core) <- None;
+  update_curr smp core;
+  let rq = smp.rqs.(core) in
+  match Cfs.curr rq with
+  | None -> ()
+  | Some e -> (
+      match running_task_of e with
+      | Some t when t.Task.remaining <= 0 -> (
+          match advance smp t 10_000 with
+          | `Runs -> schedule_work smp core t
+          | `Off ->
+              if t.Task.state = Task.Exited then reap smp t;
+              resched smp core)
+      | Some _ | None -> ())
+
+and reap smp t =
+  (* Remove an exited task from its app roster and any group. *)
+  (match Hashtbl.find_opt smp.apps t.Task.app with
+  | Some l -> l := List.filter (fun t' -> t'.Task.tid <> t.Task.tid) !l
+  | None -> ());
+  (match balloon_of_app smp t.Task.app with
+  | Some b ->
+      Array.iter
+        (fun e ->
+          match e.Entity.kind with
+          | Entity.EGroup g ->
+              g.Entity.gtasks <-
+                List.filter (fun t' -> t'.Task.tid <> t.Task.tid) g.Entity.gtasks
+          | Entity.ETask _ -> ())
+        b.b_entities
+  | None -> Hashtbl.remove smp.task_entities t.Task.tid);
+  smp.on_task_exit t
+
+and start_task smp core t =
+  t.Task.state <- Task.Running;
+  t.Task.core <- core;
+  record_latency smp t;
+  Psbox_hw.Cpu.set_core_busy smp.cpu ~core true;
+  set_span smp core (Some t.Task.app);
+  schedule_work smp core t
+
+and run smp core next =
+  let rq = smp.rqs.(core) in
+  match next with
+  | None ->
+      Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
+      set_span smp core (Some (-1))
+  | Some e -> (
+      Cfs.dequeue rq e;
+      Cfs.set_curr rq (Some e);
+      smp.curr_started.(core) <- Sim.now smp.sim;
+      match e.Entity.kind with
+      | Entity.ETask t -> start_task smp core t
+      | Entity.EGroup g -> (
+          match Entity.group_pick g with
+          | Some t ->
+              g.Entity.gcurr <- Some t;
+              start_task smp core t
+          | None ->
+              g.Entity.gcurr <- None;
+              Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
+              set_span smp core (Some (-2));
+              (* a balloon whose app has nothing runnable anywhere should
+                 not hold the machine idle until the next tick *)
+              (match smp.live with
+              | Some b when not (Array.exists Entity.runnable b.b_entities) ->
+                  ignore
+                    (Sim.schedule_after smp.sim 0 (fun () ->
+                         if
+                           b.b_live
+                           && not (Array.exists Entity.runnable b.b_entities)
+                         then cosched_out smp b))
+              | _ -> ())))
+
+and pick_next smp core =
+  match smp.live with
+  | Some b -> Some b.b_entities.(core)
+  | None -> Cfs.leftmost smp.rqs.(core)
+
+(* Idle-pull load balancing: an idling core steals a waiting task entity
+   from a core that is already running something else. Balloon groups are
+   never migrated (their cores are fixed by construction). Migration
+   re-bases the vruntime on the destination queue, as CFS does. *)
+and assigned_load smp core =
+  Hashtbl.fold
+    (fun _ roster acc ->
+      List.fold_left
+        (fun acc t ->
+          if t.Task.core = core && t.Task.state <> Task.Exited then acc + 1
+          else acc)
+        acc !roster)
+    smp.apps 0
+
+and try_steal smp core =
+  match smp.live with
+  | Some _ -> None
+  | None when smp.balloons <> [] ->
+      (* while any app is sandboxed, migrations would scramble the per-core
+         loan bookkeeping that keeps coscheduling fair *)
+      None
+  | None -> (
+      let found = ref None in
+      let my_load = assigned_load smp core in
+      for j = 0 to cores smp - 1 do
+        if j <> core && !found = None then begin
+          let rqj = smp.rqs.(j) in
+          let victim_busy =
+            match Cfs.curr rqj with Some _ -> true | None -> false
+          in
+          (* steal only when it moves the assigned-task counts toward
+             balance — a core full of briefly-sleeping tasks is not idle
+             capacity, and count drift would clump apps onto one core *)
+          if victim_busy && assigned_load smp j >= my_load + 2 then
+            List.iter
+              (fun e ->
+                match e.Entity.kind with
+                | Entity.ETask t when Task.is_runnable t && !found = None ->
+                    found := Some (j, e, t)
+                | Entity.ETask _ | Entity.EGroup _ -> ())
+              (Cfs.queued rqj)
+        end
+      done;
+      match !found with
+      | Some (j, e, t) ->
+          let rqj = smp.rqs.(j) in
+          Cfs.dequeue rqj e;
+          t.Task.core <- core;
+          e.Entity.vruntime <-
+            e.Entity.vruntime -. Cfs.min_vruntime rqj
+            +. Cfs.min_vruntime smp.rqs.(core);
+          t.Task.vruntime <- e.Entity.vruntime;
+          Some e
+      | None -> None)
+
+and resched smp core =
+  update_curr smp core;
+  put_prev smp core;
+  let next =
+    match pick_next smp core with
+    | Some e -> Some e
+    | None -> try_steal smp core
+  in
+  (match (next, smp.live) with
+  | Some e, None when Entity.is_group e -> (
+      match balloon_of_app smp (Entity.app_of e) with
+      | Some b -> start_balloon smp core b
+      | None -> ())
+  | _ -> ());
+  run smp core next
+
+(* ------------------------------------------------------------------ *)
+(* Spatial balloons                                                     *)
+
+and start_balloon smp core b =
+  b.b_live <- true;
+  b.b_joined <- 1;
+  b.b_metering <- false;
+  Array.iter
+    (fun e ->
+      match e.Entity.kind with
+      | Entity.EGroup g -> g.Entity.loan <- 0.0
+      | Entity.ETask _ -> ())
+    b.b_entities;
+  smp.live <- Some b;
+  if cores smp = 1 then begin
+    b.b_started <- Sim.now smp.sim;
+    b.b_metering <- true;
+    b.b_on_start ()
+  end
+  else
+    for j = 0 to cores smp - 1 do
+      if j <> core then
+        ignore
+          (Sim.schedule_after smp.sim smp.cfg.ipi_delay (fun () ->
+               join_balloon smp b j))
+    done
+
+and join_balloon smp b j =
+  if b.b_live then begin
+    update_curr smp j;
+    put_prev smp j;
+    let e = b.b_entities.(j) in
+    (* initial loan: what E_j must borrow to beat the core's best runnable *)
+    let best =
+      List.find_opt
+        (fun e' -> e'.Entity.eid <> e.Entity.eid)
+        (Cfs.queued smp.rqs.(j))
+    in
+    (match (e.Entity.kind, best) with
+    | Entity.EGroup g, Some best ->
+        g.Entity.loan <-
+          Float.max g.Entity.loan
+            (Float.max 0.0 (e.Entity.vruntime -. best.Entity.vruntime))
+    | _ -> ());
+    run smp j (Some e);
+    b.b_joined <- b.b_joined + 1;
+    if b.b_joined = cores smp then begin
+      b.b_started <- Sim.now smp.sim;
+      b.b_metering <- true;
+      b.b_on_start ()
+    end
+  end
+
+and cosched_out smp ?(local = 0) b =
+  for i = 0 to cores smp - 1 do
+    update_curr smp i
+  done;
+  b.b_live <- false;
+  smp.live <- None;
+  if b.b_metering then begin
+    b.b_metering <- false;
+    b.b_intervals <- (b.b_started, Sim.now smp.sim) :: b.b_intervals;
+    b.b_on_stop ()
+  end;
+  (* loan redistribution: entities evenly split the period's total loan *)
+  let groups =
+    Array.to_list b.b_entities
+    |> List.filter_map (fun e ->
+           match e.Entity.kind with
+           | Entity.EGroup g -> Some (e, g)
+           | Entity.ETask _ -> None)
+  in
+  let total = List.fold_left (fun acc (_, g) -> acc +. g.Entity.loan) 0.0 groups in
+  b.b_total_loan <- b.b_total_loan +. total;
+  let n = float_of_int (List.length groups) in
+  List.iter
+    (fun (e, g) ->
+      if smp.cfg.confine_cost then
+        e.Entity.vruntime <- e.Entity.vruntime +. ((total /. n) -. g.Entity.loan);
+      g.Entity.loan <- 0.0)
+    groups;
+  (* schedule out everywhere: local core now, remote cores after the IPI *)
+  resched smp local;
+  for j = 0 to cores smp - 1 do
+    if j <> local then
+      ignore (Sim.schedule_after smp.sim smp.cfg.ipi_delay (fun () -> resched smp j))
+  done
+
+(* Balloon bookkeeping on the designated tick: loan growth and the
+   schedule-out condition ("none of {E} has the best credit"). *)
+and balloon_tick smp ~local b =
+  let n = cores smp in
+  let wins = ref 0 in
+  for i = 0 to n - 1 do
+    let e = b.b_entities.(i) in
+    let best =
+      List.find_opt (fun e' -> e'.Entity.eid <> e.Entity.eid) (Cfs.queued smp.rqs.(i))
+    in
+    match best with
+    | None -> incr wins
+    | Some best ->
+        if e.Entity.vruntime <= best.Entity.vruntime then incr wins
+        else begin
+          match e.Entity.kind with
+          | Entity.EGroup g ->
+              g.Entity.loan <-
+                Float.max g.Entity.loan (e.Entity.vruntime -. best.Entity.vruntime)
+          | Entity.ETask _ -> ()
+        end
+  done;
+  let any_runnable = Array.exists Entity.runnable b.b_entities in
+  let loan_capped =
+    Array.exists
+      (fun e ->
+        match e.Entity.kind with
+        | Entity.EGroup g -> g.Entity.loan > smp.cfg.max_loan
+        | Entity.ETask _ -> false)
+      b.b_entities
+  in
+  let over_period = Sim.now smp.sim - b.b_started > smp.cfg.max_period in
+  if !wins = 0 || loan_capped || over_period || not any_runnable then
+    cosched_out smp ~local b
+
+(* Rotate the inner task of a balloon group when a sibling has less
+   vruntime, or start one if the core sits idle with runnable members. *)
+and inner_rotate smp core =
+  let rq = smp.rqs.(core) in
+  match Cfs.curr rq with
+  | Some e -> (
+      match e.Entity.kind with
+      | Entity.EGroup g -> (
+          match (g.Entity.gcurr, Entity.group_pick g) with
+          | None, Some _ -> resched smp core
+          | Some curr_t, Some best when best.Task.tid <> curr_t.Task.tid ->
+              resched smp core
+          | _ -> ())
+      | Entity.ETask _ -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ticks                                                                *)
+
+let rec tick smp core =
+  if not smp.stopped then begin
+    smp.tick_events.(core) <-
+      Some (Sim.schedule_after smp.sim smp.cfg.tick (fun () -> tick smp core));
+    update_curr smp core;
+    match smp.live with
+    | Some b ->
+        inner_rotate smp core;
+        (* bookkeeping runs on every core's (staggered) tick, so balloon
+           boundaries are enforced at sub-tick granularity *)
+        if b.b_live then balloon_tick smp ~local:core b
+    | None -> (
+        let rq = smp.rqs.(core) in
+        match (Cfs.curr rq, Cfs.leftmost rq) with
+        | Some c, Some l when l.Entity.vruntime < c.Entity.vruntime ->
+            resched smp core
+        | None, Some _ -> resched smp core
+        | _ -> ())
+  end
+
+let start smp =
+  for core = 0 to cores smp - 1 do
+    let offset = core * (smp.cfg.tick / cores smp) in
+    smp.tick_events.(core) <-
+      Some (Sim.schedule_after smp.sim (smp.cfg.tick + offset) (fun () -> tick smp core));
+    resched smp core
+  done
+
+let stop smp =
+  smp.stopped <- true;
+  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.tick_events;
+  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.work_events;
+  (match smp.live with Some b -> cosched_out smp b | None -> ());
+  Trace.close_all smp.trace (Sim.now smp.sim)
+
+(* ------------------------------------------------------------------ *)
+(* Wakeups and spawning                                                 *)
+
+let preempt_check smp core e =
+  match smp.live with
+  | Some _ -> ()
+  | None -> (
+      let rq = smp.rqs.(core) in
+      match Cfs.curr rq with
+      | None -> resched smp core
+      | Some c ->
+          if e.Entity.vruntime +. smp.cfg.wakeup_granularity < c.Entity.vruntime
+          then resched smp core)
+
+let wake smp t =
+  match t.Task.state with
+  | Task.Blocked -> (
+      t.Task.state <- Task.Runnable;
+      t.Task.last_wake <- Sim.now smp.sim;
+      let core = t.Task.core in
+      let rq = smp.rqs.(core) in
+      match balloon_of_app smp t.Task.app with
+      | Some b -> (
+          let e = b.b_entities.(core) in
+          match smp.live with
+          | Some b' when b' == b ->
+              (* already forced in; make sure the core picks the waker up *)
+              if curr_is rq e then
+                (match e.Entity.kind with
+                | Entity.EGroup g ->
+                    if g.Entity.gcurr = None then resched smp core
+                | Entity.ETask _ -> ())
+          | _ ->
+              if (not e.Entity.on_rq) && not (curr_is rq e) then begin
+                Cfs.place_woken rq e;
+                Cfs.enqueue rq e
+              end;
+              preempt_check smp core e)
+      | None ->
+          let e = Hashtbl.find smp.task_entities t.Task.tid in
+          if (not e.Entity.on_rq) && not (curr_is rq e) then begin
+            Cfs.place_woken rq e;
+            t.Task.vruntime <- e.Entity.vruntime;
+            Cfs.enqueue rq e
+          end;
+          preempt_check smp core e)
+  | Task.Running | Task.Runnable -> t.Task.wake_pending <- true
+  | Task.Exited -> ()
+
+let () = wake_impl := wake
+
+let spawn smp t =
+  let roster =
+    match Hashtbl.find_opt smp.apps t.Task.app with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add smp.apps t.Task.app l;
+        l
+  in
+  roster := t :: !roster;
+  t.Task.last_wake <- Sim.now smp.sim;
+  let core = t.Task.core in
+  let rq = smp.rqs.(core) in
+  match balloon_of_app smp t.Task.app with
+  | Some b -> (
+      let e = b.b_entities.(core) in
+      (match e.Entity.kind with
+      | Entity.EGroup g -> g.Entity.gtasks <- t :: g.Entity.gtasks
+      | Entity.ETask _ -> ());
+      match smp.live with
+      | Some b' when b' == b ->
+          (match e.Entity.kind with
+          | Entity.EGroup g -> if g.Entity.gcurr = None then resched smp core
+          | Entity.ETask _ -> ())
+      | _ ->
+          if (not e.Entity.on_rq) && not (curr_is rq e) then begin
+            Cfs.place_woken rq e;
+            Cfs.enqueue rq e
+          end;
+          preempt_check smp core e)
+  | None ->
+      let e = Entity.of_task t in
+      Hashtbl.replace smp.task_entities t.Task.tid e;
+      Cfs.place_new rq e;
+      t.Task.vruntime <- e.Entity.vruntime;
+      Cfs.enqueue rq e;
+      preempt_check smp core e
+
+(* ------------------------------------------------------------------ *)
+(* Sandbox / unsandbox                                                  *)
+
+let sandbox smp ~app =
+  if balloon_of_app smp app <> None then
+    invalid_arg "Smp.sandbox: app already sandboxed";
+  let n = cores smp in
+  let entities = Array.init n (fun core -> Entity.group ~psbox_id:app ~core ()) in
+  let b =
+    {
+      b_app = app;
+      b_entities = entities;
+      b_live = false;
+      b_started = Time.zero;
+      b_joined = 0;
+      b_metering = false;
+      b_intervals = [];
+      b_on_start = (fun () -> ());
+      b_on_stop = (fun () -> ());
+      b_total_loan = 0.0;
+    }
+  in
+  let tasks = app_tasks smp ~app in
+  (* pull tasks out of normal scheduling *)
+  let touched_cores = ref [] in
+  List.iter
+    (fun t ->
+      let core = t.Task.core in
+      (match Hashtbl.find_opt smp.task_entities t.Task.tid with
+      | Some e ->
+          let rq = smp.rqs.(core) in
+          if curr_is rq e then begin
+            (* detach the running task's old entity so it cannot be
+               requeued alongside the new group entity *)
+            touched_cores := core :: !touched_cores;
+            cancel_work smp core;
+            if t.Task.state = Task.Running then t.Task.state <- Task.Runnable;
+            Cfs.set_curr rq None;
+            Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
+            set_span smp core None
+          end
+          else Cfs.dequeue rq e;
+          Hashtbl.remove smp.task_entities t.Task.tid
+      | None -> ());
+      match entities.(core).Entity.kind with
+      | Entity.EGroup g -> g.Entity.gtasks <- t :: g.Entity.gtasks
+      | Entity.ETask _ -> ())
+    tasks;
+  smp.balloons <- b :: smp.balloons;
+  (* fair starting credit: at least the core's min_vruntime, at least the
+     average credit of the enclosed tasks *)
+  Array.iteri
+    (fun core e ->
+      let rq = smp.rqs.(core) in
+      (match e.Entity.kind with
+      | Entity.EGroup g ->
+          let ts = g.Entity.gtasks in
+          let avg =
+            match ts with
+            | [] -> 0.0
+            | _ ->
+                List.fold_left (fun a t -> a +. t.Task.vruntime) 0.0 ts
+                /. float_of_int (List.length ts)
+          in
+          e.Entity.vruntime <- Float.max avg (Cfs.min_vruntime rq)
+      | Entity.ETask _ -> ());
+      if Entity.runnable e then Cfs.enqueue rq e)
+    entities;
+  (* cores whose curr was one of the app's tasks must reschedule *)
+  List.iter (fun core -> resched smp core) (List.sort_uniq compare !touched_cores);
+  b
+
+let unsandbox smp b =
+  if b.b_live then cosched_out smp b;
+  smp.balloons <- List.filter (fun b' -> not (b' == b)) smp.balloons;
+  let touched = ref [] in
+  Array.iteri
+    (fun core e ->
+      let rq = smp.rqs.(core) in
+      if curr_is rq e then begin
+        touched := core :: !touched;
+        (* detach without requeueing the group *)
+        (match running_task_of e with
+        | Some t -> if t.Task.state = Task.Running then t.Task.state <- Task.Runnable
+        | None -> ());
+        (match e.Entity.kind with
+        | Entity.EGroup g -> g.Entity.gcurr <- None
+        | Entity.ETask _ -> ());
+        cancel_work smp core;
+        Cfs.set_curr rq None;
+        Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
+        set_span smp core None
+      end
+      else Cfs.dequeue rq e;
+      match e.Entity.kind with
+      | Entity.EGroup g ->
+          List.iter
+            (fun t ->
+              let te = Entity.of_task t in
+              te.Entity.vruntime <- t.Task.vruntime;
+              Hashtbl.replace smp.task_entities t.Task.tid te;
+              if Task.is_runnable t then begin
+                Cfs.place_woken rq te;
+                t.Task.vruntime <- te.Entity.vruntime;
+                Cfs.enqueue rq te
+              end)
+            g.Entity.gtasks;
+          g.Entity.gtasks <- []
+      | Entity.ETask _ -> ())
+    b.b_entities;
+  List.iter (fun core -> resched smp core) (List.sort_uniq compare !touched)
+
+let set_balloon_listener b ~on_start ~on_stop =
+  b.b_on_start <- on_start;
+  b.b_on_stop <- on_stop
+
+let balloon_intervals b = List.rev b.b_intervals
+let balloon_live b = b.b_live
+let total_loan_issued b = b.b_total_loan
+
+let debug_dump smp =
+  let buf = Buffer.create 256 in
+  for core = 0 to cores smp - 1 do
+    let rq = smp.rqs.(core) in
+    Buffer.add_string buf (Printf.sprintf "core%d curr=" core);
+    (match Cfs.curr rq with
+    | Some e ->
+        Buffer.add_string buf
+          (Printf.sprintf "eid%d(%s,vrt=%.0f,onrq=%b) " e.Entity.eid
+             (match e.Entity.kind with
+             | Entity.ETask t -> "task" ^ string_of_int t.Task.tid
+             | Entity.EGroup g -> "grp" ^ string_of_int g.Entity.psbox_id)
+             e.Entity.vruntime e.Entity.on_rq)
+    | None -> Buffer.add_string buf "none ");
+    Buffer.add_string buf "q=[";
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "eid%d(%s,vrt=%.0f,onrq=%b);" e.Entity.eid
+             (match e.Entity.kind with
+             | Entity.ETask t -> "task" ^ string_of_int t.Task.tid
+             | Entity.EGroup g -> "grp" ^ string_of_int g.Entity.psbox_id)
+             e.Entity.vruntime e.Entity.on_rq))
+      (Cfs.queued rq);
+    Buffer.add_string buf "]\n"
+  done;
+  Buffer.contents buf

@@ -1,0 +1,109 @@
+(** Multicore CFS scheduler with psbox spatial balloons.
+
+    One {!Cfs.t} instance per core, 1 ms ticks, wakeup preemption, and the
+    paper's two CPU extensions (§4.2):
+
+    - {b Spatial balloons}: when a sandboxed app's per-core group entity wins
+      a core, the scheduler coschedules the app on {e all} cores of the
+      balloon via task shootdown (modelled IPIs). Cores the app cannot fill
+      are forced idle and billed to the app.
+    - {b Scheduling loans}: a remote entity forced in ahead of its credit
+      records the loan it needed; loans grow while the entity keeps running
+      past its credit; at schedule-out the entities of the psbox evenly split
+      the accumulated loans, disadvantaging the app in future competition.
+
+    The scheduler reports coscheduling (balloon) intervals to listeners so a
+    psbox virtual power meter can attribute rail power. *)
+
+type config = {
+  tick : Psbox_engine.Time.span;  (** scheduler tick period (default 1 ms) *)
+  wakeup_granularity : float;  (** vruntime headroom before wake preemption *)
+  ipi_delay : Psbox_engine.Time.span;  (** shootdown propagation (default 5 us) *)
+  max_loan : float;
+      (** cap on a core's scheduling loan within one coscheduling period
+          (default 20 ms of vruntime): bounds how long a balloon can starve
+          a waiter on a core where the balloon never loses the credit race *)
+  max_period : Psbox_engine.Time.span;
+      (** hard bound on one coscheduling period (default 20 ms); a balloon
+          that still holds the best credit re-enters immediately *)
+  confine_cost : bool;
+      (** bill balloon-forced idle to the sandboxed app and settle loans
+          (default true — the paper's design; disable only to reproduce the
+          ablation) *)
+}
+
+val default_config : config
+
+type t
+
+type balloon
+(** Handle on a sandboxed app's CPU balloon. *)
+
+val create : Psbox_engine.Sim.t -> Psbox_hw.Cpu.t -> ?config:config -> unit -> t
+
+val cpu : t -> Psbox_hw.Cpu.t
+val cores : t -> int
+
+val start : t -> unit
+(** Arm periodic ticks and begin scheduling. Call once. *)
+
+(** {1 Tasks} *)
+
+val spawn : t -> Task.t -> unit
+(** Admit a task on its assigned core (joins its app's balloon group if the
+    app is sandboxed). *)
+
+val wake : t -> Task.t -> unit
+(** Make a blocked task runnable (no-op with a pending-wake mark if it has
+    not blocked yet — the race where completion beats the block). *)
+
+val set_on_task_exit : t -> (Task.t -> unit) -> unit
+
+val app_tasks : t -> app:int -> Task.t list
+
+(** {1 Spatial balloons (psbox support)} *)
+
+val sandbox : t -> app:int -> balloon
+(** Enclose an app's tasks in per-core group entities {E}. From now on the
+    app only runs inside coscheduling periods.
+    @raise Invalid_argument if the app is already sandboxed. *)
+
+val unsandbox : t -> balloon -> unit
+(** End any live coscheduling period, release the app's tasks back to normal
+    scheduling. *)
+
+val set_balloon_listener : balloon -> on_start:(unit -> unit) -> on_stop:(unit -> unit) -> unit
+(** Callbacks at the start/end of each coscheduling period (after shootdown
+    completes / at schedule-out), used by the psbox virtual meter. *)
+
+val balloon_intervals : balloon -> (Psbox_engine.Time.t * Psbox_engine.Time.t) list
+(** Completed coscheduling periods, oldest first. *)
+
+val balloon_live : balloon -> bool
+
+val total_loan_issued : balloon -> float
+(** Cumulative vruntime loaned over all completed periods (diagnostics and
+    invariant tests). *)
+
+(** {1 Introspection} *)
+
+val sched_trace : t -> (int * int) Psbox_engine.Trace.spans
+(** Spans tagged [(core, app)]; [app = -1] is true idle, [-2] is
+    balloon-forced idle. *)
+
+val wakeup_latencies_us : t -> float array
+(** Wake-to-run latencies observed so far, in microseconds. *)
+
+val wakeup_latencies_of : t -> app:int -> float array
+(** Same, restricted to one app's tasks. *)
+
+val running_app : t -> core:int -> int option
+(** App of the task actually executing on a core right now (idle = None). *)
+
+val stop : t -> unit
+(** Cancel ticks (end of simulation). *)
+
+(**/**)
+
+val debug_dump : t -> string
+(** Internal diagnostics; subject to change. *)

@@ -1,0 +1,184 @@
+open Psbox_engine
+
+type app = {
+  app_id : int;
+  app_name : string;
+  counters : (string, float) Hashtbl.t;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  cpu : Psbox_hw.Cpu.t;
+  smp : Smp.t;
+  gpu : Accel_driver.t option;
+  dsp : Accel_driver.t option;
+  net : Net_sched.t option;
+  display : Psbox_hw.Display.t option;
+  gps : Psbox_hw.Gps.t option;
+  mutable apps : app list;
+  mutable next_app : int;
+  mutable started : bool;
+}
+
+let gpu_opps =
+  [|
+    { Psbox_hw.Dvfs.freq_mhz = 200; core_w = 0.10; uncore_w = 0.05 };
+    { Psbox_hw.Dvfs.freq_mhz = 300; core_w = 0.16; uncore_w = 0.08 };
+    { Psbox_hw.Dvfs.freq_mhz = 400; core_w = 0.24; uncore_w = 0.11 };
+    { Psbox_hw.Dvfs.freq_mhz = 532; core_w = 0.34; uncore_w = 0.15 };
+  |]
+
+(* The C66x DSP's rail is dominated by shared clocking and on-chip SRAM:
+   per-core kernels add comparatively little, which maximally entangles
+   co-running apps' power (the paper's worst accounting errors are on the
+   DSP, Figure 6 row 2). *)
+let dsp_opps =
+  [|
+    { Psbox_hw.Dvfs.freq_mhz = 600; core_w = 0.12; uncore_w = 0.38 };
+    { Psbox_hw.Dvfs.freq_mhz = 750; core_w = 0.18; uncore_w = 0.55 };
+  |]
+
+let create ?(seed = 42) ?(cores = 2)
+    ?(cpu_governor =
+      Psbox_hw.Dvfs.Ondemand { up_threshold = 0.7; sampling = Time.ms 50 })
+    ?(cpu_idle_w = 0.3) ?(confine_cost = true) ?(gpu = false)
+    ?(gpu_governor =
+      Psbox_hw.Dvfs.Ondemand { up_threshold = 0.6; sampling = Time.ms 20 })
+    ?(dsp = false) ?(wifi = false) ?(wifi_virtual_macs = false)
+    ?(display = false) ?(gps = false) () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed in
+  let cpu =
+    Psbox_hw.Cpu.create sim ~governor:cpu_governor ~idle_w:cpu_idle_w ~cores ()
+  in
+  let smp =
+    Smp.create sim cpu
+      ~config:{ Smp.default_config with Smp.confine_cost }
+      ()
+  in
+  let gpu =
+    if not gpu then None
+    else begin
+      let dev =
+        Psbox_hw.Accel.create sim ~name:"gpu" ~units:4 ~opps:gpu_opps
+          ~governor:gpu_governor ~idle_w:0.08 ~autosuspend:(Time.ms 200) ()
+      in
+      Some
+        (Accel_driver.create sim dev ~buffering:Accel_driver.Lock_requests
+           ~window:4 ~confine_cost ())
+    end
+  in
+  let dsp =
+    if not dsp then None
+    else begin
+      let dev =
+        Psbox_hw.Accel.create sim ~name:"dsp" ~units:2 ~opps:dsp_opps
+          ~idle_w:0.25
+          ~governor:(Psbox_hw.Dvfs.Ondemand { up_threshold = 0.5; sampling = Time.ms 50 })
+          ()
+      in
+      Some (Accel_driver.create sim dev ~window:2 ~confine_cost ())
+    end
+  in
+  let net =
+    if not wifi then None
+    else begin
+      let nic = Psbox_hw.Wifi.create sim ~virtual_macs:wifi_virtual_macs () in
+      Some (Net_sched.create sim nic ())
+    end
+  in
+  let display = if display then Some (Psbox_hw.Display.create sim ()) else None in
+  let gps = if gps then Some (Psbox_hw.Gps.create sim ()) else None in
+  {
+    sim; rng; cpu; smp; gpu; dsp; net; display; gps;
+    apps = []; next_app = 1; started = false;
+  }
+
+let am57 ?seed () = create ?seed ~cores:2 ~gpu:true ~dsp:true ()
+
+let bbb ?seed ?wifi_virtual_macs () =
+  create ?seed ~cores:1 ~wifi:true ?wifi_virtual_macs ()
+
+let phone ?seed () =
+  create ?seed ~cores:2 ~gpu:true ~wifi:true ~wifi_virtual_macs:true
+    ~display:true ~gps:true ()
+
+let sim sys = sys.sim
+let rng sys = sys.rng
+let cpu sys = sys.cpu
+let smp sys = sys.smp
+
+let gpu sys =
+  match sys.gpu with Some g -> g | None -> invalid_arg "System.gpu: no GPU"
+
+let dsp sys =
+  match sys.dsp with Some d -> d | None -> invalid_arg "System.dsp: no DSP"
+
+let net sys =
+  match sys.net with Some n -> n | None -> invalid_arg "System.net: no WiFi"
+
+let display sys =
+  match sys.display with
+  | Some d -> d
+  | None -> invalid_arg "System.display: no display"
+
+let gps sys =
+  match sys.gps with Some g -> g | None -> invalid_arg "System.gps: no GPS"
+
+let has_gpu sys = sys.gpu <> None
+let has_dsp sys = sys.dsp <> None
+let has_wifi sys = sys.net <> None
+let has_display sys = sys.display <> None
+let has_gps sys = sys.gps <> None
+
+let rails sys =
+  [ Psbox_hw.Cpu.rail sys.cpu ]
+  @ (match sys.gpu with
+    | Some g -> [ Psbox_hw.Accel.rail (Accel_driver.device g) ]
+    | None -> [])
+  @ (match sys.dsp with
+    | Some d -> [ Psbox_hw.Accel.rail (Accel_driver.device d) ]
+    | None -> [])
+  @ (match sys.net with
+    | Some n -> [ Psbox_hw.Wifi.rail (Net_sched.nic n) ]
+    | None -> [])
+  @ (match sys.display with
+    | Some d -> [ Psbox_hw.Display.rail d ]
+    | None -> [])
+  @ match sys.gps with Some g -> [ Psbox_hw.Gps.rail g ] | None -> []
+
+let new_app sys ~name =
+  let app = { app_id = sys.next_app; app_name = name; counters = Hashtbl.create 8 } in
+  sys.next_app <- sys.next_app + 1;
+  sys.apps <- app :: sys.apps;
+  app
+
+let apps sys = List.rev sys.apps
+let app_by_id sys id = List.find_opt (fun a -> a.app_id = id) sys.apps
+
+let bump app key v =
+  let cur = match Hashtbl.find_opt app.counters key with Some x -> x | None -> 0.0 in
+  Hashtbl.replace app.counters key (cur +. v)
+
+let counter app key =
+  match Hashtbl.find_opt app.counters key with Some x -> x | None -> 0.0
+
+let start sys =
+  if not sys.started then begin
+    sys.started <- true;
+    Smp.start sys.smp
+  end
+
+let run_for sys span = Sim.run_until sys.sim (Sim.now sys.sim + span)
+let now sys = Sim.now sys.sim
+
+let shutdown sys =
+  Smp.stop sys.smp;
+  Psbox_hw.Cpu.stop sys.cpu;
+  (match sys.gpu with
+  | Some g -> Psbox_hw.Accel.stop (Accel_driver.device g)
+  | None -> ());
+  (match sys.dsp with
+  | Some d -> Psbox_hw.Accel.stop (Accel_driver.device d)
+  | None -> ())

@@ -1,0 +1,97 @@
+(** A whole simulated machine: hardware, kernel subsystems, apps.
+
+    Two presets mirror the paper's evaluation platforms (Figure 4):
+    {!am57} — dual-core CPU + GPU + DSP behind separate rails — and
+    {!bbb} — single-core CPU + WiFi module. Arbitrary combinations can be
+    assembled with {!create}. *)
+
+type app = {
+  app_id : int;
+  app_name : string;
+  counters : (string, float) Hashtbl.t;  (** throughput/work counters *)
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cores:int ->
+  ?cpu_governor:Psbox_hw.Dvfs.governor ->
+  ?cpu_idle_w:float ->
+  ?confine_cost:bool ->
+  ?gpu:bool ->
+  ?gpu_governor:Psbox_hw.Dvfs.governor ->
+  ?dsp:bool ->
+  ?wifi:bool ->
+  ?wifi_virtual_macs:bool ->
+  ?display:bool ->
+  ?gps:bool ->
+  unit ->
+  t
+(** Defaults: seed 42, 2 cores, ondemand CPU governor, no devices.
+    [confine_cost] (default true) is the paper's lost-sharing billing; it
+    exists as a switch only for the ablation bench. *)
+
+val am57 : ?seed:int -> unit -> t
+(** Dual Cortex-A15-like CPU + SGX544-like GPU + C66x-like DSP. *)
+
+val bbb : ?seed:int -> ?wifi_virtual_macs:bool -> unit -> t
+(** Single-core CPU + WiLink8-like WiFi. *)
+
+val phone : ?seed:int -> unit -> t
+(** A smartphone-flavoured machine beyond the paper's prototypes: dual-core
+    CPU + GPU + WiFi (with virtual MACs) + OLED display + GPS — the §7
+    extension hardware. *)
+
+val sim : t -> Psbox_engine.Sim.t
+val rng : t -> Psbox_engine.Rng.t
+val cpu : t -> Psbox_hw.Cpu.t
+val smp : t -> Smp.t
+
+val gpu : t -> Accel_driver.t
+(** @raise Invalid_argument if the machine has no GPU. *)
+
+val dsp : t -> Accel_driver.t
+(** @raise Invalid_argument if the machine has no DSP. *)
+
+val net : t -> Net_sched.t
+(** @raise Invalid_argument if the machine has no WiFi. *)
+
+val display : t -> Psbox_hw.Display.t
+(** @raise Invalid_argument if the machine has no display. *)
+
+val gps : t -> Psbox_hw.Gps.t
+(** @raise Invalid_argument if the machine has no GPS. *)
+
+val has_gpu : t -> bool
+val has_dsp : t -> bool
+val has_wifi : t -> bool
+val has_display : t -> bool
+val has_gps : t -> bool
+
+val rails : t -> Psbox_hw.Power_rail.t list
+(** All metered rails (CPU first, then GPU/DSP/WiFi as present). *)
+
+(** {1 Apps} *)
+
+val new_app : t -> name:string -> app
+val apps : t -> app list
+val app_by_id : t -> int -> app option
+
+val bump : app -> string -> float -> unit
+(** Add to a named counter (e.g. frames, bytes, commands). *)
+
+val counter : app -> string -> float
+
+(** {1 Running} *)
+
+val start : t -> unit
+(** Start the scheduler. Call once, before or after spawning tasks. *)
+
+val run_for : t -> Psbox_engine.Time.span -> unit
+(** Advance the simulation by a span. *)
+
+val now : t -> Psbox_engine.Time.t
+
+val shutdown : t -> unit
+(** Stop ticks and governors so the event queue can drain. *)

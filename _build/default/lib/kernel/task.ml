@@ -1,0 +1,48 @@
+type state = Runnable | Running | Blocked | Exited
+
+type action =
+  | Run of Psbox_engine.Time.span
+  | Block
+  | Sleep of Psbox_engine.Time.span
+  | Yield
+  | Exit
+
+type program = unit -> action
+
+type t = {
+  tid : int;
+  app : int;
+  name : string;
+  weight : float;
+  mutable state : state;
+  mutable core : int;
+  mutable vruntime : float;
+  mutable remaining : Psbox_engine.Time.span;
+  mutable program : program;
+  mutable wake_pending : bool;
+  mutable last_wake : Psbox_engine.Time.t;
+}
+
+let next_tid = ref 0
+
+let create ~app ~name ?(weight = 1024.0) ?(core = 0) ~program () =
+  incr next_tid;
+  {
+    tid = !next_tid;
+    app;
+    name;
+    weight;
+    state = Runnable;
+    core;
+    vruntime = 0.0;
+    remaining = 0;
+    program;
+    wake_pending = false;
+    last_wake = Psbox_engine.Time.zero;
+  }
+
+let is_runnable t = t.state = Runnable || t.state = Running
+
+let pp fmt t =
+  Format.fprintf fmt "task%d(%s app%d core%d vrt=%.0f)" t.tid t.name t.app
+    t.core t.vruntime

@@ -1,0 +1,42 @@
+(** Kernel tasks (processes/threads).
+
+    A task's behaviour is a pull-based program: whenever the previous action
+    finishes, the scheduler calls the program for the next one. Programs may
+    call kernel services (submit an accelerator command, queue a packet, ...)
+    before returning [Block]; whoever completes the service wakes the task. *)
+
+type state = Runnable | Running | Blocked | Exited
+
+type action =
+  | Run of Psbox_engine.Time.span
+      (** Execute on the CPU for this long (subject to preemption). *)
+  | Block  (** Wait for an external wake (the program arranged one). *)
+  | Sleep of Psbox_engine.Time.span  (** Block, wake after the given span. *)
+  | Yield  (** Give up the CPU but stay runnable. *)
+  | Exit
+
+type program = unit -> action
+
+type t = {
+  tid : int;
+  app : int;
+  name : string;
+  weight : float;
+  mutable state : state;
+  mutable core : int;
+  mutable vruntime : float;  (** weighted runtime, nanoseconds *)
+  mutable remaining : Psbox_engine.Time.span;  (** left of the current [Run] *)
+  mutable program : program;
+  mutable wake_pending : bool;
+      (** a wake arrived while the task was still [Running]/[Runnable];
+          consume it instead of blocking *)
+  mutable last_wake : Psbox_engine.Time.t;  (** for latency statistics *)
+}
+
+val create :
+  app:int -> name:string -> ?weight:float -> ?core:int -> program:program ->
+  unit -> t
+
+val is_runnable : t -> bool
+
+val pp : Format.formatter -> t -> unit

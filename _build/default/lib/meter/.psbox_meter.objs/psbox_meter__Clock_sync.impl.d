@@ -1,0 +1,1 @@
+lib/meter/clock_sync.ml: Float Psbox_engine Rng Time

@@ -1,0 +1,1 @@
+lib/meter/clock_sync.mli: Psbox_engine

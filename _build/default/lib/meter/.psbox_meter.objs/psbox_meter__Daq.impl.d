@@ -1,0 +1,1 @@
+lib/meter/daq.ml: Array Float List Psbox_engine Psbox_hw Rng Sample Time Timeline

@@ -1,0 +1,1 @@
+lib/meter/daq.mli: Psbox_engine Psbox_hw Sample

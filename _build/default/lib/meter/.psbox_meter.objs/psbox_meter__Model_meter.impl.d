@@ -1,0 +1,1 @@
+lib/meter/model_meter.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/meter/model_meter.mli:

@@ -1,0 +1,1 @@
+lib/meter/sample.ml: Array Float Format List Psbox_engine Time

@@ -1,0 +1,1 @@
+lib/meter/sample.mli: Format Psbox_engine

@@ -1,0 +1,1 @@
+lib/meter/sensor_hub.ml: Psbox_engine Psbox_hw Queue Sim Time

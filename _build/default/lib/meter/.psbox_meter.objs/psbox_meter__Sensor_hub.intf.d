@@ -1,0 +1,1 @@
+lib/meter/sensor_hub.mli: Psbox_engine Psbox_hw

@@ -1,0 +1,47 @@
+open Psbox_engine
+
+type t = { offset : Time.span; skew : float }
+
+let create ?(offset = Time.us 1700) ?(skew_ppm = 35.0) () =
+  { offset; skew = skew_ppm *. 1e-6 }
+
+let to_daq c t =
+  t + int_of_float (Float.round (float_of_int t *. c.skew)) + c.offset
+
+let to_target c t =
+  let x = float_of_int (t - c.offset) /. (1.0 +. c.skew) in
+  int_of_float (Float.round x)
+
+type estimate = { offset : Time.span; skew_ppm : float }
+
+let sync c ~rng ~pulses ~interval ~jitter =
+  if pulses < 2 then invalid_arg "Clock_sync.sync: need at least two pulses";
+  (* least squares of daq_time = a * target_time + b over the edge pairs *)
+  let n = float_of_int pulses in
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to pulses - 1 do
+    let target_t = i * interval in
+    let noise =
+      if jitter <= 0 then 0
+      else Rng.int rng (2 * jitter) - jitter
+    in
+    let daq_t = to_daq c target_t + noise in
+    let x = float_of_int target_t and y = float_of_int daq_t in
+    sx := !sx +. x;
+    sy := !sy +. y;
+    sxx := !sxx +. (x *. x);
+    sxy := !sxy +. (x *. y)
+  done;
+  let denom = (n *. !sxx) -. (!sx *. !sx) in
+  let a = if denom = 0.0 then 1.0 else ((n *. !sxy) -. (!sx *. !sy)) /. denom in
+  let b = (!sy -. (a *. !sx)) /. n in
+  { offset = int_of_float (Float.round b); skew_ppm = (a -. 1.0) *. 1e6 }
+
+let residual_error c est ~at =
+  let true_daq = to_daq c at in
+  let est_daq =
+    at
+    + int_of_float (Float.round (float_of_int at *. est.skew_ppm *. 1e-6))
+    + est.offset
+  in
+  abs (true_daq - est_daq)

@@ -1,0 +1,38 @@
+(** Clock synchronization between the power meter and the target.
+
+    The paper's prototype aligns the DAQ controller's clock with the target
+    CPU's clock over a GPIO line so power samples can be matched to software
+    activities. We model the DAQ clock as an affine function of target time
+    (offset + skew) and the GPIO sync procedure as an estimator that leaves a
+    small residual error. *)
+
+type t
+
+val create :
+  ?offset:Psbox_engine.Time.span ->
+  ?skew_ppm:float ->
+  unit ->
+  t
+(** A DAQ clock reading [target * (1 + skew_ppm*1e-6) + offset]. Defaults:
+    1.7 ms offset, 35 ppm skew (plausible for two free-running crystal
+    oscillators). *)
+
+val to_daq : t -> Psbox_engine.Time.t -> Psbox_engine.Time.t
+(** Convert a target-clock instant into the DAQ clock. *)
+
+val to_target : t -> Psbox_engine.Time.t -> Psbox_engine.Time.t
+(** Inverse conversion. *)
+
+type estimate = { offset : Psbox_engine.Time.span; skew_ppm : float }
+
+val sync :
+  t -> rng:Psbox_engine.Rng.t -> pulses:int ->
+  interval:Psbox_engine.Time.span -> jitter:Psbox_engine.Time.span -> estimate
+(** Run the GPIO sync procedure: the target raises [pulses] edges spaced
+    [interval] apart; the DAQ records each with uniform timestamping noise of
+    up to [jitter]. Least-squares over the edge pairs yields an offset and
+    skew estimate. *)
+
+val residual_error :
+  t -> estimate -> at:Psbox_engine.Time.t -> Psbox_engine.Time.span
+(** Absolute alignment error left by an estimate at a given instant. *)

@@ -1,0 +1,29 @@
+open Psbox_engine
+
+type t = { rate_hz : int; period : Time.span; noise_w : float; rng : Rng.t option }
+
+let create ?(rate_hz = 100_000) ?(noise_w = 0.0) ?rng () =
+  if rate_hz <= 0 then invalid_arg "Daq.create: rate must be positive";
+  if noise_w > 0.0 && rng = None then
+    invalid_arg "Daq.create: noise requires an rng";
+  { rate_hz; period = 1_000_000_000 / rate_hz; noise_w; rng }
+
+let rate_hz daq = daq.rate_hz
+let period daq = daq.period
+
+let noisy daq w =
+  match daq.rng with
+  | Some rng when daq.noise_w > 0.0 ->
+      Float.max 0.0 (w +. Rng.gaussian rng ~mu:0.0 ~sigma:daq.noise_w)
+  | Some _ | None -> w
+
+let capture daq rail ~from ~until =
+  let raw =
+    Timeline.samples (Psbox_hw.Power_rail.timeline rail) ~period:daq.period ~from ~until
+  in
+  Array.map (fun (t, w) -> Sample.make t (noisy daq w)) raw
+
+let capture_many daq rails ~from ~until =
+  List.map
+    (fun rail -> (Psbox_hw.Power_rail.name rail, capture daq rail ~from ~until))
+    rails

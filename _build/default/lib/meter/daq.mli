@@ -1,0 +1,41 @@
+(** Simulated data-acquisition unit (MCCDAQ USB1608G-like).
+
+    The DAQ samples one or more power rails at a fixed rate (100 kHz in the
+    paper's prototype) and timestamps each sample. Because the simulator
+    keeps exact piecewise-constant rail histories, sampling is synthesized on
+    demand from the history rather than by scheduling one event per sample;
+    optional Gaussian measurement noise models the ADC front end. Timestamps
+    are reported in the target clock (after clock synchronization), which is
+    the simulation clock. *)
+
+type t
+
+val create :
+  ?rate_hz:int ->
+  ?noise_w:float ->
+  ?rng:Psbox_engine.Rng.t ->
+  unit ->
+  t
+(** Defaults: 100 kHz, no noise. [noise_w] is the standard deviation of
+    additive Gaussian noise per sample; it requires [rng]. *)
+
+val rate_hz : t -> int
+
+val period : t -> Psbox_engine.Time.span
+
+val capture :
+  t ->
+  Psbox_hw.Power_rail.t ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  Sample.t array
+(** Timestamped samples of a rail over a window. *)
+
+val capture_many :
+  t ->
+  Psbox_hw.Power_rail.t list ->
+  from:Psbox_engine.Time.t ->
+  until:Psbox_engine.Time.t ->
+  (string * Sample.t array) list
+(** Capture several rails simultaneously (same timestamps), keyed by rail
+    name. *)

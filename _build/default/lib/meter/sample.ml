@@ -1,0 +1,37 @@
+open Psbox_engine
+
+type t = { time : Time.t; watts : float }
+
+let make time watts = { time; watts }
+
+let energy_j samples =
+  let n = Array.length samples in
+  if n < 2 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 2 do
+      let dt = Time.to_sec_f (samples.(i + 1).time - samples.(i).time) in
+      acc := !acc +. (samples.(i).watts *. dt)
+    done;
+    !acc
+  end
+
+let energy_mj samples = energy_j samples *. 1e3
+
+let mean_w samples =
+  let n = Array.length samples in
+  if n < 2 then if n = 1 then samples.(0).watts else Float.nan
+  else begin
+    let span = Time.to_sec_f (samples.(n - 1).time - samples.(0).time) in
+    if span <= 0.0 then samples.(0).watts else energy_j samples /. span
+  end
+
+let between samples ~from ~until =
+  Array.of_list
+    (List.filter
+       (fun s -> s.time >= from && s.time <= until)
+       (Array.to_list samples))
+
+let values samples = Array.map (fun s -> s.watts) samples
+
+let pp fmt s = Format.fprintf fmt "%a: %.4f W" Time.pp s.time s.watts

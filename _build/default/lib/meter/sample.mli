@@ -1,0 +1,27 @@
+(** Timestamped power samples.
+
+    Every psbox power reading is timestamped against the standard simulation
+    clock (the paper's clock_gettime-aligned timestamps), so apps can map
+    power to software activities at fine granularity. *)
+
+type t = { time : Psbox_engine.Time.t; watts : float }
+
+val make : Psbox_engine.Time.t -> float -> t
+
+val energy_j : t array -> float
+(** Energy of a uniformly- or non-uniformly-spaced sample train, integrated
+    with the rectangle rule (each sample holds until the next). The last
+    sample contributes nothing (no known duration). [0.] for fewer than two
+    samples. *)
+
+val energy_mj : t array -> float
+
+val mean_w : t array -> float
+(** Time-weighted mean power of the train. *)
+
+val between : t array -> from:Psbox_engine.Time.t -> until:Psbox_engine.Time.t -> t array
+(** Samples whose timestamp falls in [\[from, until\]]. *)
+
+val values : t array -> float array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sidechannel/attack.ml: Dtw List

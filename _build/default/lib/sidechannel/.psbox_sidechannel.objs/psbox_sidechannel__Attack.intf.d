@@ -1,0 +1,1 @@
+lib/sidechannel/attack.mli:

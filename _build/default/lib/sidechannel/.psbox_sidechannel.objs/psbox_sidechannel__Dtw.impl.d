@@ -1,0 +1,1 @@
+lib/sidechannel/dtw.ml: Array Float

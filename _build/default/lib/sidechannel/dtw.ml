@@ -1,0 +1,49 @@
+let znormalize xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let var =
+      Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+      /. float_of_int n
+    in
+    let sd = sqrt var in
+    if sd < 1e-12 then Array.map (fun x -> x -. mean) xs
+    else Array.map (fun x -> (x -. mean) /. sd) xs
+  end
+
+let downsample xs ~factor =
+  if factor <= 0 then invalid_arg "Dtw.downsample: factor must be positive";
+  let n = Array.length xs / factor in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to factor - 1 do
+        acc := !acc +. xs.((i * factor) + k)
+      done;
+      !acc /. float_of_int factor)
+
+let distance ?band a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then Float.infinity
+  else begin
+    (* band width rescaled for unequal lengths, as in Sakoe-Chiba *)
+    let w =
+      match band with
+      | None -> max n m
+      | Some w -> max w (abs (n - m))
+    in
+    let prev = Array.make (m + 1) Float.infinity in
+    let curr = Array.make (m + 1) Float.infinity in
+    prev.(0) <- 0.0;
+    for i = 1 to n do
+      Array.fill curr 0 (m + 1) Float.infinity;
+      let jlo = max 1 (i - w) and jhi = min m (i + w) in
+      for j = jlo to jhi do
+        let cost = Float.abs (a.(i - 1) -. b.(j - 1)) in
+        let best = Float.min prev.(j) (Float.min curr.(j - 1) prev.(j - 1)) in
+        curr.(j) <- cost +. best
+      done;
+      Array.blit curr 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end

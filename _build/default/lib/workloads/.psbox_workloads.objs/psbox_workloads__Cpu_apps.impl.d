@@ -1,0 +1,1 @@
+lib/workloads/cpu_apps.ml: List Printf Psbox_engine Psbox_kernel Rng Time Workload

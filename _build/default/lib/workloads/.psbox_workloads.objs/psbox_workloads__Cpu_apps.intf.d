@@ -1,0 +1,1 @@
+lib/workloads/cpu_apps.mli: Psbox_kernel

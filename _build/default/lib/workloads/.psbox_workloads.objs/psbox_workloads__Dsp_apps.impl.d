@@ -1,0 +1,1 @@
+lib/workloads/dsp_apps.ml: Psbox_engine Psbox_kernel Rng Time Workload

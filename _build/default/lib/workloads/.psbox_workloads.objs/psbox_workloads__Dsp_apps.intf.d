@@ -1,0 +1,1 @@
+lib/workloads/dsp_apps.mli: Psbox_kernel

@@ -1,0 +1,1 @@
+lib/workloads/gpu_apps.ml: List Psbox_engine Psbox_kernel Rng Time Workload

@@ -1,0 +1,1 @@
+lib/workloads/gpu_apps.mli: Psbox_kernel

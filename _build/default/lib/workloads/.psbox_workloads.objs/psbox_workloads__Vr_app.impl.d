@@ -1,0 +1,1 @@
+lib/workloads/vr_app.ml: Array List Psbox_core Psbox_engine Psbox_kernel Rng Sim Time Workload

@@ -1,0 +1,1 @@
+lib/workloads/vr_app.mli: Psbox_core Psbox_engine Psbox_kernel

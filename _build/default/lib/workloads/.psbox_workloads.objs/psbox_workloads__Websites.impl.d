@@ -1,0 +1,1 @@
+lib/workloads/websites.ml: Array List Printf Psbox_engine Psbox_kernel Rng Time Workload

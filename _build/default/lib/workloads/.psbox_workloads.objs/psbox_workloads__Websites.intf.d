@@ -1,0 +1,1 @@
+lib/workloads/websites.mli: Psbox_engine Psbox_kernel

@@ -1,0 +1,1 @@
+lib/workloads/wifi_apps.ml: Psbox_engine Psbox_kernel Rng Time Workload

@@ -1,0 +1,1 @@
+lib/workloads/wifi_apps.mli: Psbox_kernel

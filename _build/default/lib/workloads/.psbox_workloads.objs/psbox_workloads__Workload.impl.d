@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Printf Psbox_engine Psbox_hw Psbox_kernel Queue Sim Time

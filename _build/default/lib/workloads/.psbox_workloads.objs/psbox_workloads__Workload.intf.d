@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Psbox_engine Psbox_kernel

@@ -1,0 +1,56 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+
+let jitter rng base pct =
+  let f = Rng.uniform rng ~lo:(1.0 -. pct) ~hi:(1.0 +. pct) in
+  int_of_float (float_of_int base *. f)
+
+let spawn_threads sys ~app ~name ?threads mk =
+  let cores = Psbox_kernel.Smp.cores (System.smp sys) in
+  let n = match threads with Some n -> max 1 (min n cores) | None -> cores in
+  (* spread apps across cores: app k's first thread lands on core k mod n *)
+  List.init n (fun i ->
+      let core = (app.System.app_id + i) mod cores in
+      Workload.spawn sys ~app
+        ~name:(Printf.sprintf "%s.%d" name core)
+        ~core (mk ~core))
+
+(* Per-thread duty cycles approximate the paper's benchmarks: a
+   single-threaded instance demands most of one core, so instance pairs fit
+   the two-core machine and co-running reshuffles rather than slows them. *)
+
+let bodytrack sys ?(frames = 1000) ?threads app =
+  let period = Time.ms 33 in
+  spawn_threads sys ~app ~name:"bodytrack" ?threads (fun ~core ->
+      ignore core;
+      let rng = Rng.split (System.rng sys) in
+      Workload.repeat frames (fun _ ->
+          let busy = jitter rng (Time.ms 11) 0.25 in
+          let rest = max (Time.ms 2) (period - busy) in
+          [ Workload.Compute busy; Workload.Count ("frames", 1.0); Workload.Sleep rest ]))
+
+let calib3d sys ?(iterations = 60) ?threads app =
+  spawn_threads sys ~app ~name:"calib3d" ?threads (fun ~core ->
+      ignore core;
+      let rng = Rng.split (System.rng sys) in
+      Workload.repeat iterations (fun _ ->
+          let burst = jitter rng (Time.ms 8) 0.3 in
+          let stall = jitter rng (Time.ms 2) 0.5 in
+          [
+            Workload.Compute burst;
+            Workload.Count ("kb", 1.5);
+            Workload.Sleep stall;
+          ]))
+
+let dedup sys ?(chunks = 400) ?threads app =
+  spawn_threads sys ~app ~name:"dedup" ?threads (fun ~core ->
+      ignore core;
+      let rng = Rng.split (System.rng sys) in
+      Workload.repeat chunks (fun _ ->
+          let burst = jitter rng (Time.ms 5) 0.2 in
+          let io = jitter rng (Time.ms 3) 0.4 in
+          [
+            Workload.Compute burst;
+            Workload.Count ("mb", 0.25);
+            Workload.Sleep io;
+          ]))

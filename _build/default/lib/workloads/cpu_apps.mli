@@ -1,0 +1,25 @@
+(** CPU benchmark apps (Table 5 / Figure 5).
+
+    - [bodytrack] — PARSEC vision pipeline tracking body movement:
+      frame-paced bursts.
+    - [calib3d] — OpenCV camera calibration / 3D reconstruction: long
+      optimization bursts with small stalls.
+    - [dedup] — PARSEC streaming compression with deduplication: steady
+      chunk pipeline.
+
+    Each spawns [threads] worker threads (default: one per core) doing a
+    fixed amount of work each, then exits; pass a large work count to
+    approximate an endless run. Throughput counters: [frames] (bodytrack),
+    [kb] (calib3d), [mb] (dedup). *)
+
+val bodytrack :
+  Psbox_kernel.System.t -> ?frames:int -> ?threads:int ->
+  Psbox_kernel.System.app -> Psbox_kernel.Task.t list
+
+val calib3d :
+  Psbox_kernel.System.t -> ?iterations:int -> ?threads:int ->
+  Psbox_kernel.System.app -> Psbox_kernel.Task.t list
+
+val dedup :
+  Psbox_kernel.System.t -> ?chunks:int -> ?threads:int ->
+  Psbox_kernel.System.app -> Psbox_kernel.Task.t list

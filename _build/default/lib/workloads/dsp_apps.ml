@@ -1,0 +1,33 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+
+let kernel_loop sys app ~name ~kernels ~work_ms ~units ~intensity ~prep_ms
+    ~gap_ms ~gflops =
+  let rng = Rng.split (System.rng sys) in
+  Workload.spawn sys ~app ~name
+    (Workload.repeat kernels (fun _ ->
+         let work =
+           Rng.uniform rng ~lo:(work_ms *. 0.9) ~hi:(work_ms *. 1.1) /. 1e3
+         in
+         [
+           Workload.Compute (Time.ms prep_ms);
+           Workload.Dsp_batch [ Workload.spec ~kind:name ~work_s:work ~units ~intensity () ];
+           Workload.Count ("gflops", gflops);
+           Workload.Sleep (Time.ms gap_ms);
+         ]))
+
+(* Duty cycles near 50% per app: two co-running kernels fit the DSP's
+   capacity even when psbox temporal balloons serialize them, mirroring the
+   paper's DSP scenarios where co-running does not starve anyone. *)
+
+let sgemm sys ?(kernels = 40) app =
+  kernel_loop sys app ~name:"sgemm" ~kernels ~work_ms:60.0 ~units:1
+    ~intensity:1.0 ~prep_ms:2 ~gap_ms:65 ~gflops:4.0
+
+let dgemm sys ?(kernels = 24) app =
+  kernel_loop sys app ~name:"dgemm" ~kernels ~work_ms:120.0 ~units:1
+    ~intensity:1.15 ~prep_ms:3 ~gap_ms:110 ~gflops:2.0
+
+let monte sys ?(kernels = 200) app =
+  kernel_loop sys app ~name:"monte" ~kernels ~work_ms:15.0 ~units:1
+    ~intensity:0.9 ~prep_ms:1 ~gap_ms:22 ~gflops:1.0

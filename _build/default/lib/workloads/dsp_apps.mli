@@ -1,0 +1,17 @@
+(** DSP benchmark apps (Table 5 / Figure 5), from the TI AM57 SDK examples.
+
+    - [sgemm] — single-precision matrix multiplication kernels.
+    - [dgemm] — double-precision kernels (longer, hotter).
+    - [monte] — Monte-Carlo simulation: many short kernels.
+
+    Each is a CPU task that prepares buffers and dispatches OpenCL-style
+    kernels to the DSP command queue. Counter: [gflops]. *)
+
+val sgemm :
+  Psbox_kernel.System.t -> ?kernels:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val dgemm :
+  Psbox_kernel.System.t -> ?kernels:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val monte :
+  Psbox_kernel.System.t -> ?kernels:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t

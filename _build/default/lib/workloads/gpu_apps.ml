@@ -1,0 +1,73 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+
+let ms_f rng lo hi = Rng.uniform rng ~lo ~hi /. 1e3
+
+(* One page load: parse, then a sequence of layout/paint command bursts
+   separated by think-time gaps. *)
+let page_ops rng =
+  let bursts = 4 + Rng.int rng 4 in
+  let parse = [ Workload.Compute (Time.ms (15 + Rng.int rng 10)) ] in
+  let burst _ =
+    let cmds = 2 + Rng.int rng 2 in
+    let specs =
+      List.init cmds (fun _ ->
+          Workload.spec ~kind:"paint" ~work_s:(ms_f rng 1.0 4.0)
+            ~units:(1 + Rng.int rng 2)
+            ~intensity:(Rng.uniform rng ~lo:0.8 ~hi:1.2)
+            ())
+    in
+    [
+      Workload.Compute (Time.ms (3 + Rng.int rng 6));
+      Workload.Gpu_batch specs;
+      Workload.Count ("cmds", float_of_int cmds);
+      Workload.Sleep (Time.ms (15 + Rng.int rng 30));
+    ]
+  in
+  parse @ List.concat (List.init bursts burst)
+
+let browser sys ?(pages = 1) app =
+  let rng = Rng.split (System.rng sys) in
+  Workload.spawn sys ~app ~name:"gpu-browser"
+    (Workload.repeat pages (fun _ -> page_ops rng))
+
+let frame_app sys app ~name ~frames ~cmds ~work_lo ~work_hi ~units ~intensity =
+  let rng = Rng.split (System.rng sys) in
+  let period = Time.us 16_667 in
+  Workload.spawn sys ~app ~name
+    (Workload.repeat frames (fun _ ->
+         let specs =
+           List.init cmds (fun _ ->
+               Workload.spec ~kind:"frame" ~work_s:(ms_f rng work_lo work_hi)
+                 ~units ~intensity ())
+         in
+         let cpu = Time.ms 2 in
+         [
+           Workload.Compute cpu;
+           Workload.Gpu_batch specs;
+           Workload.Count ("cmds", float_of_int cmds);
+           Workload.Sleep (max (Time.ms 1) (period - cpu - Time.ms 6));
+         ]))
+
+let magic sys ?(frames = 600) app =
+  frame_app sys app ~name:"magic" ~frames ~cmds:3 ~work_lo:2.0 ~work_hi:4.0
+    ~units:2 ~intensity:1.2
+
+let cube sys ?(frames = 600) ?(cmds = 1) ?(units = 1) app =
+  frame_app sys app ~name:"cube" ~frames ~cmds ~work_lo:2.0 ~work_hi:3.0
+    ~units ~intensity:1.0
+
+let triangle sys ?(batches = 10_000) app =
+  let rng = Rng.split (System.rng sys) in
+  Workload.spawn sys ~app ~name:"triangle"
+    (Workload.repeat batches (fun _ ->
+         let specs =
+           List.init 6 (fun _ ->
+               Workload.spec ~kind:"tri" ~work_s:(ms_f rng 2.5 3.5) ~units:1
+                 ~intensity:1.3 ())
+         in
+         [
+           Workload.Compute (Time.us 300);
+           Workload.Gpu_batch specs;
+           Workload.Count ("cmds", 6.0);
+         ]))

@@ -1,0 +1,25 @@
+(** GPU benchmark apps (Table 5 / Figure 5).
+
+    - [browser] — webkit browser loading a page: CPU parse/layout bursts,
+      batches of render commands, think-time gaps.
+    - [magic] — PowerVR "magic lantern" demo rendering at 60 fps.
+    - [cube] — Qt rotating-cube demo at 60 fps (lighter frames).
+    - [triangle] — synthetic stressor drawing 100k triangles/s offscreen:
+      saturates the device with heavy command batches.
+
+    Single-threaded drivers of the GPU command queue. Counter: [cmds]. *)
+
+val browser :
+  Psbox_kernel.System.t -> ?pages:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val magic :
+  Psbox_kernel.System.t -> ?frames:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val cube :
+  Psbox_kernel.System.t -> ?frames:int -> ?cmds:int -> ?units:int ->
+  Psbox_kernel.System.app -> Psbox_kernel.Task.t
+(** [cmds] per frame and [units] per command scale the load (the paper's
+    Qt cube saturates its GPU; two instances contend). *)
+
+val triangle :
+  Psbox_kernel.System.t -> ?batches:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t

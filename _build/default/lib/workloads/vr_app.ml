@@ -1,0 +1,82 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+
+type ctl = {
+  mutable fidelity : int;
+  mutable obs : (Time.t * float * int) list; (* newest first *)
+}
+
+(* Per-frame render cost (ms of CPU) at each fidelity level, 30 fps. *)
+let cost_ms = [| 1.0; 3.5; 6.5; 10.0; 14.0 |]
+let min_fidelity_cost_ms = cost_ms.(0)
+let max_fidelity_cost_ms = cost_ms.(Array.length cost_ms - 1)
+
+let gesture sys ?(frames = 10_000) app =
+  let rng = Rng.split (System.rng sys) in
+  (* input-dependent load: the number of contours performs a bounded random
+     walk, so the gesture task's power impact varies over time *)
+  let contours = ref 4 in
+  Workload.spawn sys ~app ~name:"gesture" ~core:0
+    (Workload.repeat frames (fun _ ->
+         contours := max 1 (min 12 (!contours + Rng.int rng 3 - 1));
+         let busy = Time.of_sec_f (float_of_int !contours *. 1.4e-3) in
+         let period = Time.ms 33 in
+         [ Workload.Compute busy; Workload.Sleep (max (Time.ms 2) (period - busy)) ]))
+
+let rendering sys app ~psbox ?(budget_w = 0.8) ?(frames = 10_000) () =
+  let ctl = { fidelity = 2; obs = [] } in
+  let sim = System.sim sys in
+  let period = Time.ms 33 in
+  (* adaptation cycle in frames: free-running, then an observation window
+     inside the psbox *)
+  let cycle = 15 and observe = 6 in
+  let frame_in_cycle = ref 0 in
+  let obs_energy0 = ref 0.0 in
+  let obs_t0 = ref Time.zero in
+  let enter () =
+    ignore
+      (Sim.schedule_after sim 0 (fun () ->
+           Psbox.enter psbox;
+           obs_t0 := Sim.now sim;
+           obs_energy0 := 0.0))
+  in
+  let read_and_leave () =
+    ignore
+      (Sim.schedule_after sim 0 (fun () ->
+           if Psbox.inside psbox then begin
+             let mj = Psbox.read_mj psbox in
+             let dt = Time.to_sec_f (Sim.now sim - !obs_t0) in
+             if dt > 0.0 then begin
+               let watts = mj /. 1e3 /. dt in
+               ctl.obs <- (Sim.now sim, watts, ctl.fidelity) :: ctl.obs;
+               (* trade fidelity for power *)
+               if watts > budget_w && ctl.fidelity > 0 then
+                 ctl.fidelity <- ctl.fidelity - 1
+               else if watts < 0.6 *. budget_w && ctl.fidelity < 4 then
+                 ctl.fidelity <- ctl.fidelity + 1
+             end;
+             Psbox.leave psbox
+           end))
+  in
+  let task =
+    Workload.spawn sys ~app ~name:"rendering" ~core:0
+      (Workload.repeat frames (fun _ ->
+           let k = !frame_in_cycle in
+           frame_in_cycle := (k + 1) mod cycle;
+           let busy = Time.of_sec_f (cost_ms.(ctl.fidelity) /. 1e3) in
+           let frame =
+             [
+               Workload.Compute busy;
+               Workload.Count ("frames", 1.0);
+               Workload.Sleep (max (Time.ms 1) (period - busy));
+             ]
+           in
+           if k = cycle - observe then Workload.Effect enter :: frame
+           else if k = cycle - 1 then frame @ [ Workload.Effect read_and_leave ]
+           else frame))
+  in
+  (ctl, task)
+
+let fidelity ctl = ctl.fidelity
+let observations ctl = List.rev ctl.obs

@@ -1,0 +1,38 @@
+(** The end-to-end VR use case of §6.4.
+
+    Two continuously-running CPU tasks: the {e gesture} task processes video
+    frames whose cost varies with input (number of hand contours), and the
+    {e rendering} task animates water waves at a fidelity level it trades
+    for power at run time.
+
+    The rendering task is power-aware through its psbox: periodically it
+    enters the box, renders a short observation window, reads the virtual
+    power meter, adapts its fidelity toward a power budget, and leaves —
+    the "pay as you go" pattern. Without insulation its readings would be
+    polluted by the gesture task's input-dependent power. *)
+
+type ctl
+(** Handle on the rendering task's adaptation state. *)
+
+val gesture :
+  Psbox_kernel.System.t -> ?frames:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val rendering :
+  Psbox_kernel.System.t ->
+  Psbox_kernel.System.app ->
+  psbox:Psbox_core.Psbox.t ->
+  ?budget_w:float ->
+  ?frames:int ->
+  unit ->
+  ctl * Psbox_kernel.Task.t
+(** [budget_w] defaults to 0.8 W. The psbox must enclose the same app and be
+    bound to the CPU. *)
+
+val fidelity : ctl -> int
+(** Current fidelity level, 0 (lowest) to 4. *)
+
+val observations : ctl -> (Psbox_engine.Time.t * float * int) list
+(** (time, observed watts, fidelity then in effect), oldest first. *)
+
+val min_fidelity_cost_ms : float
+val max_fidelity_cost_ms : float

@@ -1,0 +1,58 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+
+let site_names =
+  [|
+    "google"; "youtube"; "facebook"; "baidu"; "wikipedia";
+    "reddit"; "yahoo"; "amazon"; "twitter"; "instagram";
+  |]
+
+(* Per-site shape parameters: number of render bursts, commands per burst,
+   command weight, inter-burst gap. Chosen to be mutually distinguishable
+   under DTW while plausible for page rendering. *)
+let shape site =
+  match site mod 10 with
+  | 0 -> (3, 1, 1.5, 30) (* google: sparse, light *)
+  | 1 -> (8, 3, 4.0, 12) (* youtube: heavy, dense *)
+  | 2 -> (6, 2, 2.5, 20)
+  | 3 -> (4, 2, 1.8, 28)
+  | 4 -> (3, 1, 2.8, 45) (* wikipedia: few, medium, long gaps *)
+  | 5 -> (7, 2, 1.6, 15)
+  | 6 -> (5, 3, 2.2, 22)
+  | 7 -> (6, 1, 3.2, 18)
+  | 8 -> (9, 1, 1.4, 10) (* twitter: many tiny *)
+  | _ -> (5, 2, 3.6, 26)
+
+let load_page sys app ~site ~rng =
+  let bursts, cmds, work_ms, gap_ms = shape site in
+  let ops _ =
+    List.concat
+      (List.init bursts (fun k ->
+           let specs =
+             List.init cmds (fun _ ->
+                 Workload.spec ~kind:"render"
+                   ~work_s:
+                     (Rng.uniform rng ~lo:(work_ms *. 0.85) ~hi:(work_ms *. 1.15)
+                     /. 1e3)
+                   ~units:(1 + (k mod 2))
+                   ~intensity:(Rng.uniform rng ~lo:0.95 ~hi:1.05)
+                   ())
+           in
+           [
+             Workload.Compute (Time.ms (2 + Rng.int rng 3));
+             Workload.Gpu_batch specs;
+             Workload.Sleep (Time.ms (gap_ms + Rng.int rng 6));
+           ]))
+  in
+  Workload.spawn sys ~app ~name:(Printf.sprintf "site-%s" site_names.(site mod 10))
+    (Workload.repeat 1 ops)
+
+let camouflage sys app ?(rounds = 100) () =
+  let rng = Rng.split (System.rng sys) in
+  Workload.spawn sys ~app ~name:"camouflage"
+    (Workload.repeat rounds (fun _ ->
+         [
+           Workload.Gpu_batch
+             [ Workload.spec ~kind:"cover" ~work_s:0.0008 ~intensity:0.5 () ];
+           Workload.Sleep (Time.ms (8 + Rng.int rng 5));
+         ]))

@@ -1,0 +1,23 @@
+(** Synthetic Alexa-top-10 website GPU signatures (for §2.5).
+
+    Different web pages generate different GPU workloads and hence unique
+    power signatures; this module provides ten distinguishable per-site
+    command patterns with run-to-run jitter, used by the side-channel
+    experiment's victim browser. *)
+
+val site_names : string array
+(** Ten site labels. *)
+
+val load_page :
+  Psbox_kernel.System.t ->
+  Psbox_kernel.System.app ->
+  site:int ->
+  rng:Psbox_engine.Rng.t ->
+  Psbox_kernel.Task.t
+(** Spawn a task performing one load of site [site mod 10]; the task exits
+    when the page is loaded. *)
+
+val camouflage :
+  Psbox_kernel.System.t -> Psbox_kernel.System.app -> ?rounds:int -> unit -> Psbox_kernel.Task.t
+(** The attacker's light GPU workload (its cover story while it watches the
+    power meter). *)

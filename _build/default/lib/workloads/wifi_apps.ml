@@ -1,0 +1,38 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+
+let browser sys ?(objects = 5) app =
+  let rng = Rng.split (System.rng sys) in
+  Workload.spawn sys ~app ~name:"net-browser"
+    (Workload.repeat objects (fun _ ->
+         let rx = 8_000 + Rng.int rng 24_000 in
+         [
+           Workload.Compute (Time.ms (2 + Rng.int rng 4));
+           Workload.Request
+             {
+               socket = 1;
+               tx_bytes = 1_200 + Rng.int rng 1_200;
+               rx_bytes = rx;
+               rtt = Time.ms (25 + Rng.int rng 40);
+             };
+           Workload.Count ("kb", float_of_int rx /. 1024.0);
+           Workload.Sleep (Time.ms (10 + Rng.int rng 40));
+         ]))
+
+let bulk_sender sys app ~name ~kb ~chunk_kb ~cpu_ms =
+  let chunks = max 1 (kb / chunk_kb) in
+  Workload.spawn sys ~app ~name
+    (Workload.repeat chunks (fun _ ->
+         let ops =
+           if cpu_ms > 0 then [ Workload.Compute (Time.ms cpu_ms) ] else []
+         in
+         ops
+         @ [
+             Workload.Send { socket = 1; bytes = chunk_kb * 1024 };
+             Workload.Count ("kb", float_of_int chunk_kb);
+           ]))
+
+let scp sys ?(kb = 2_048) app = bulk_sender sys app ~name:"scp" ~kb ~chunk_kb:24 ~cpu_ms:2
+
+let wget sys ?(kb = 2_048) app =
+  bulk_sender sys app ~name:"wget" ~kb ~chunk_kb:32 ~cpu_ms:0

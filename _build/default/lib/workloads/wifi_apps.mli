@@ -1,0 +1,18 @@
+(** WiFi benchmark apps (Table 5 / Figure 5).
+
+    - [browser] — a text browser loading a page over the network: small
+      requests, response bursts, think time.
+    - [scp] — transmitting a file over ssh: per-chunk cipher CPU work plus a
+      blocking send.
+    - [wget] — transmitting a file over http: back-to-back blocking sends.
+
+    Counter: [kb] (kilobytes moved). *)
+
+val browser :
+  Psbox_kernel.System.t -> ?objects:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val scp :
+  Psbox_kernel.System.t -> ?kb:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t
+
+val wget :
+  Psbox_kernel.System.t -> ?kb:int -> Psbox_kernel.System.app -> Psbox_kernel.Task.t

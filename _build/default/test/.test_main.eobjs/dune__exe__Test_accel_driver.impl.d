@@ -1,0 +1,1 @@
+test/test_accel_driver.ml: Alcotest Array Float List Option Printf Psbox_engine Psbox_hw Psbox_kernel Sim Stats Time

@@ -1,0 +1,1 @@
+test/test_accounting.ml: Alcotest List Psbox_accounting Psbox_engine QCheck QCheck_alcotest Time Timeline

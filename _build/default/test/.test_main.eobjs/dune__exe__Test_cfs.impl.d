@@ -1,0 +1,1 @@
+test/test_cfs.ml: Alcotest Cfs Entity Option Psbox_kernel Task

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Gen Heap List Option Psbox_engine QCheck QCheck_alcotest Rng Sim Stats Time Timeline Trace

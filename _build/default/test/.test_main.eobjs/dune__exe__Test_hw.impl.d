@@ -1,0 +1,1 @@
+test/test_hw.ml: Accel Alcotest Cpu Dvfs List Option Power_rail Psbox_engine Psbox_hw Sim Time Wifi

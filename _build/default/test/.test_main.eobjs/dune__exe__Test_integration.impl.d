@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Printf Psbox_accounting Psbox_core Psbox_engine Psbox_experiments Psbox_kernel Psbox_workloads Time

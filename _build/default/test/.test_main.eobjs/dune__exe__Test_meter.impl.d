@@ -1,0 +1,1 @@
+test/test_meter.ml: Alcotest Array Clock_sync Daq Float List Model_meter Psbox_engine Psbox_hw Psbox_meter Rng Sample Sim Time

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Float Format List Printf Psbox_core Psbox_engine Psbox_experiments Psbox_hw Psbox_kernel Psbox_meter Psbox_workloads Sim String Time

@@ -1,0 +1,1 @@
+test/test_net_sched.ml: Alcotest Float List Printf Psbox_engine Psbox_hw Psbox_kernel Sim Time

@@ -1,0 +1,1 @@
+test/test_psbox.ml: Alcotest Array Float List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Psbox_workloads Time

@@ -1,0 +1,1 @@
+test/test_random.ml: Array Float Lazy List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_meter Psbox_workloads QCheck QCheck_alcotest Time Trace

@@ -1,0 +1,1 @@
+test/test_sidechannel.ml: Alcotest Array Attack Dtw Float Gen Psbox_sidechannel QCheck QCheck_alcotest

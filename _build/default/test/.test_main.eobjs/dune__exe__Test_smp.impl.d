@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Array Float List Printf Psbox_engine Psbox_kernel Psbox_workloads Time Trace

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array List Printf Psbox_core Psbox_engine Psbox_kernel Psbox_workloads Stats Time

@@ -1,0 +1,1 @@
+test/test_vstate.ml: Alcotest Option Psbox_engine Psbox_hw Psbox_kernel Sim Time

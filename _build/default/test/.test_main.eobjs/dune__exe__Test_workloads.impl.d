@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Psbox_core Psbox_engine Psbox_hw Psbox_kernel Psbox_workloads Rng Time

@@ -1,0 +1,132 @@
+(* Tests for the prior-art accounting heuristics. *)
+open Psbox_engine
+module Usage = Psbox_accounting.Usage
+module Split = Psbox_accounting.Split
+
+let check_float e = Alcotest.(check (float e))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let span app start stop share = { Usage.app; start; stop; share }
+
+let flat_tl w =
+  let tl = Timeline.create ~initial:w () in
+  tl
+
+let test_segments_sweep () =
+  let usages = [ span 1 0 100 0.5; span 2 50 150 0.5 ] in
+  let segs = Usage.segments usages ~from:0 ~until:200 in
+  check_int "four segments" 4 (List.length segs);
+  let s2 = List.nth segs 1 in
+  check_int "overlap start" 50 s2.Usage.t0;
+  check_int "overlap end" 100 s2.Usage.t1;
+  check_int "two sharers" 2 (List.length s2.Usage.shares);
+  let s4 = List.nth segs 3 in
+  Alcotest.(check (list (pair int (float 0.0)))) "gap empty" [] s4.Usage.shares
+
+let test_segments_clipping () =
+  let usages = [ span 1 (-50) 1000 1.0 ] in
+  let segs = Usage.segments usages ~from:0 ~until:100 in
+  check_int "one segment" 1 (List.length segs);
+  let s = List.hd segs in
+  check_int "clipped start" 0 s.Usage.t0;
+  check_int "clipped end" 100 s.Usage.t1
+
+let test_usage_split_proportional () =
+  (* 10 W rail; app1 uses 2x the share of app2 over the same interval *)
+  let tl = flat_tl 10.0 in
+  let usages = [ span 1 0 Time.(sec 1) 0.5; span 2 0 Time.(sec 1) 0.25 ] in
+  let r = Split.usage_split tl usages ~from:0 ~until:(Time.sec 1) in
+  check_float 1e-9 "app1 gets 2/3" (10.0 *. 2.0 /. 3.0) (List.assoc 1 r);
+  check_float 1e-9 "app2 gets 1/3" (10.0 /. 3.0) (List.assoc 2 r);
+  check_float 1e-9 "conserves busy energy" 10.0 (Split.total_attributed r)
+
+let test_usage_split_ignores_idle () =
+  let tl = flat_tl 10.0 in
+  let usages = [ span 1 0 (Time.ms 500) 1.0 ] in
+  let r = Split.usage_split tl usages ~from:0 ~until:(Time.sec 1) in
+  check_float 1e-9 "only the busy half attributed" 5.0 (Split.total_attributed r)
+
+let test_even_split () =
+  let tl = flat_tl 6.0 in
+  let usages = [ span 1 0 Time.(sec 1) 0.9; span 2 0 Time.(sec 1) 0.1 ] in
+  let r = Split.even_split tl usages ~from:0 ~until:(Time.sec 1) in
+  check_float 1e-9 "even regardless of share" 3.0 (List.assoc 1 r);
+  check_float 1e-9 "even regardless of share (2)" 3.0 (List.assoc 2 r)
+
+let test_last_entity_tail () =
+  let tl = flat_tl 2.0 in
+  (* app1 active 0..0.5s, then nobody: the tail goes to app1 *)
+  let usages = [ span 1 0 (Time.ms 500) 1.0 ] in
+  let r = Split.last_entity tl usages ~from:0 ~until:(Time.sec 1) in
+  check_float 1e-9 "app1 charged busy + tail" 2.0 (List.assoc 1 r)
+
+let test_last_entity_handoff () =
+  let tl = flat_tl 2.0 in
+  let usages = [ span 1 0 (Time.ms 200) 1.0; span 2 (Time.ms 600) (Time.ms 800) 1.0 ] in
+  let r = Split.last_entity tl usages ~from:0 ~until:(Time.sec 1) in
+  (* app1: 0..200 busy + 200..600 tail = 1.2 J; app2: 600..800 + 800..1000 = 0.8 J *)
+  check_float 1e-9 "app1" 1.2 (List.assoc 1 r);
+  check_float 1e-9 "app2" 0.8 (List.assoc 2 r)
+
+let test_shared_baseline () =
+  let tl = flat_tl 5.0 in
+  let usages = [ span 1 0 Time.(sec 1) 0.75; span 2 0 Time.(sec 1) 0.25 ] in
+  let r = Split.shared_baseline tl ~idle_w:1.0 usages ~from:0 ~until:(Time.sec 1) in
+  (* baseline 1 J split evenly (0.5 each); dynamic 4 J split 3:1 *)
+  check_float 1e-9 "app1" 3.5 (List.assoc 1 r);
+  check_float 1e-9 "app2" 1.5 (List.assoc 2 r)
+
+let test_windowed_by_count () =
+  let tl = flat_tl 4.0 in
+  (* within one 100 ms window, app1 issues 3 requests, app2 one *)
+  let usages =
+    [
+      span 1 0 (Time.ms 10) 1.0;
+      span 1 (Time.ms 20) (Time.ms 30) 1.0;
+      span 1 (Time.ms 40) (Time.ms 50) 1.0;
+      span 2 (Time.ms 60) (Time.ms 70) 1.0;
+    ]
+  in
+  let r = Split.windowed_by_count tl usages ~from:0 ~until:(Time.ms 100) in
+  check_float 1e-9 "3/4 by count" 0.3 (List.assoc 1 r);
+  check_float 1e-9 "1/4 by count" 0.1 (List.assoc 2 r)
+
+let prop_attribution_bounded =
+  QCheck.Test.make ~name:"usage_split never attributes more than rail energy"
+    ~count:200
+    QCheck.(
+      list
+        (quad (int_bound 3) (int_bound 1000) (int_bound 1000)
+           (float_range 0.05 1.0)))
+    (fun raw ->
+      let usages =
+        List.map
+          (fun (app, start, len, share) ->
+            span (app + 1) start (start + len + 1) share)
+          raw
+      in
+      let tl = flat_tl 3.0 in
+      let hi = 3000 in
+      let total_rail = Timeline.integrate tl 0 hi in
+      let check f =
+        Split.total_attributed (f tl usages ~from:0 ~until:hi)
+        <= total_rail +. 1e-9
+      in
+      check Split.usage_split && check Split.even_split
+      && check Split.last_entity
+      && check (Split.windowed_by_count ?window:None))
+
+let suite =
+  [
+    ("segments sweep", `Quick, test_segments_sweep);
+    ("segments clipping", `Quick, test_segments_clipping);
+    ("usage split proportional", `Quick, test_usage_split_proportional);
+    ("usage split ignores idle", `Quick, test_usage_split_ignores_idle);
+    ("even split", `Quick, test_even_split);
+    ("last entity gets the tail", `Quick, test_last_entity_tail);
+    ("last entity handoff", `Quick, test_last_entity_handoff);
+    ("shared baseline", `Quick, test_shared_baseline);
+    ("windowed by count", `Quick, test_windowed_by_count);
+    QCheck_alcotest.to_alcotest prop_attribution_bounded;
+  ]

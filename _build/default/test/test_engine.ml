@@ -1,0 +1,346 @@
+(* Unit and property tests for the discrete-event engine. *)
+open Psbox_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Time ---------------------------------------------------------- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "sec" 1_000_000_000 (Time.sec 1);
+  check_int "of_sec_f" 1_500_000_000 (Time.of_sec_f 1.5);
+  check_float "to_sec_f" 0.25 (Time.to_sec_f (Time.ms 250));
+  check_float "to_us_f" 2.5 (Time.to_us_f 2_500);
+  check_float "to_ms_f" 1.5 (Time.to_ms_f 1_500_000)
+
+(* ---- Heap ---------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let out = List.init 10 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] out;
+  check_bool "empty after" true (Heap.is_empty h)
+
+let test_heap_interleaved () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  check_int "pop min" 1 (Option.get (Heap.pop h));
+  Heap.push h 0;
+  check_int "peek" 0 (Option.get (Heap.peek h));
+  check_int "size" 2 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* ---- Sim ----------------------------------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule_at sim 30 (note "c"));
+  ignore (Sim.schedule_at sim 10 (note "a"));
+  ignore (Sim.schedule_at sim 10 (note "b"));
+  (* same-instant events fire in scheduling order *)
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim 10 (fun () -> fired := true) in
+  Sim.cancel h;
+  check_bool "cancelled" true (Sim.cancelled h);
+  Sim.run sim;
+  check_bool "did not fire" false !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim (i * 10) (fun () -> incr count))
+  done;
+  Sim.run_until sim 30;
+  check_int "three fired" 3 !count;
+  check_int "clock at limit" 30 (Sim.now sim);
+  Sim.run_until sim 100;
+  check_int "all fired" 5 !count
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  Sim.run_until sim 100;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: 50ns is before now (100ns)")
+    (fun () -> ignore (Sim.schedule_at sim 50 (fun () -> ())))
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim 10 (fun () ->
+         log := Sim.now sim :: !log;
+         ignore (Sim.schedule_after sim 5 (fun () -> log := Sim.now sim :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list int)) "nested times" [ 10; 15 ] (List.rev !log)
+
+(* ---- Rng ----------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 50 (fun _ -> Rng.int c 1_000_000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let rng = Rng.create ~seed in
+      let x = Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let x = Rng.float rng 3.0 in
+      x >= 0.0 && x < 3.0)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng ~mu:5.0 ~sigma:2.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  check_bool "mean close" true (Float.abs (m -. 5.0) < 0.1);
+  check_bool "sd close" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:13 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~mean:4.0) in
+  check_bool "mean close" true (Float.abs (Stats.mean xs -. 4.0) < 0.2);
+  check_bool "nonnegative" true (Array.for_all (fun x -> x >= 0.0) xs)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:17 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
+
+(* ---- Timeline ------------------------------------------------------ *)
+
+let test_timeline_values () =
+  let tl = Timeline.create ~initial:1.0 () in
+  Timeline.set tl 100 2.0;
+  Timeline.set tl 200 3.0;
+  check_float "before first" 1.0 (Timeline.value_at tl 50);
+  check_float "at bp" 2.0 (Timeline.value_at tl 100);
+  check_float "mid" 2.0 (Timeline.value_at tl 150);
+  check_float "after last" 3.0 (Timeline.value_at tl 500)
+
+let test_timeline_integrate () =
+  let tl = Timeline.create ~initial:1.0 () in
+  Timeline.set tl (Time.sec 1) 3.0;
+  (* 1 W for 1 s then 3 W for 1 s *)
+  check_float "energy" 4.0 (Timeline.integrate tl 0 (Time.sec 2));
+  (* 0.5 s at 1 W + 0.5 s at 3 W *)
+  check_float "partial" 2.0 (Timeline.integrate tl (Time.ms 500) (Time.of_sec_f 1.5));
+  check_float "mean" 2.0 (Timeline.mean tl 0 (Time.sec 2))
+
+let test_timeline_same_instant_overwrite () =
+  let tl = Timeline.create ~initial:0.0 () in
+  Timeline.set tl 10 5.0;
+  Timeline.set tl 10 7.0;
+  check_float "overwritten" 7.0 (Timeline.value_at tl 10)
+
+let test_timeline_monotonic_guard () =
+  let tl = Timeline.create () in
+  Timeline.set tl 100 1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeline.set: 50ns is before last breakpoint 100ns")
+    (fun () -> Timeline.set tl 50 2.0)
+
+let test_timeline_samples () =
+  let tl = Timeline.create ~initial:1.0 () in
+  Timeline.set tl 100 2.0;
+  let s = Timeline.samples tl ~period:50 ~from:0 ~until:200 in
+  Alcotest.(check int) "count" 5 (Array.length s);
+  check_float "s0" 1.0 (snd s.(0));
+  check_float "s2" 2.0 (snd s.(2));
+  check_float "s4" 2.0 (snd s.(4))
+
+let prop_timeline_integral_additive =
+  QCheck.Test.make ~name:"integral is additive over adjacent windows" ~count:200
+    QCheck.(list (pair (int_bound 1000) (float_range 0.0 10.0)))
+    (fun changes ->
+      let tl = Timeline.create ~initial:1.0 () in
+      let t = ref 0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t + dt + 1;
+          Timeline.set tl !t (Float.abs v))
+        changes;
+      let hi = !t + 100 in
+      let mid = hi / 2 in
+      let whole = Timeline.integrate tl 0 hi in
+      let parts = Timeline.integrate tl 0 mid +. Timeline.integrate tl mid hi in
+      Float.abs (whole -. parts) < 1e-9)
+
+let prop_timeline_integral_nonneg =
+  QCheck.Test.make ~name:"integral of nonnegative values is nonnegative"
+    ~count:200
+    QCheck.(list (pair (int_bound 1000) (float_range 0.0 5.0)))
+    (fun changes ->
+      let tl = Timeline.create ~initial:0.5 () in
+      let t = ref 0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t + dt + 1;
+          Timeline.set tl !t (Float.abs v))
+        changes;
+      Timeline.integrate tl 0 (!t + 50) >= 0.0)
+
+let test_timeline_map_intervals () =
+  let tl = Timeline.create ~initial:1.0 () in
+  Timeline.set tl 100 2.0;
+  Timeline.set tl 200 3.0;
+  let parts = Timeline.map_intervals tl ~from:50 ~until:250 ~f:(fun a b v -> (a, b, v)) in
+  Alcotest.(check int) "three parts" 3 (List.length parts);
+  let a, b, v = List.hd parts in
+  check_int "first start" 50 a;
+  check_int "first stop" 100 b;
+  check_float "first value" 1.0 v
+
+(* ---- Stats --------------------------------------------------------- *)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "mean" 3.0 (Stats.mean xs);
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "min" 1.0 (Stats.min xs);
+  check_float "max" 5.0 (Stats.max xs);
+  check_float "sum" 15.0 (Stats.sum xs);
+  check_float "stddev" (sqrt 2.5) (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  check_float "p0" 0.0 (Stats.percentile xs 0.0);
+  check_float "p50" 50.0 (Stats.percentile xs 50.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0);
+  check_float "p95" 95.0 (Stats.percentile xs 95.0)
+
+let test_stats_histogram () =
+  let xs = [| 0.0; 0.1; 0.9; 1.0 |] in
+  let h = Stats.histogram xs ~bins:2 in
+  check_int "bin0" 2 h.Stats.counts.(0);
+  check_int "bin1" 2 h.Stats.counts.(1)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean is between min and max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-9 && m <= Stats.max a +. 1e-9)
+
+(* ---- Trace --------------------------------------------------------- *)
+
+let test_trace_events () =
+  let tr = Trace.events () in
+  Trace.emit tr 10 "a";
+  Trace.emit tr 20 "b";
+  Alcotest.(check int) "count" 2 (Trace.count tr);
+  Alcotest.(check (list (pair int string))) "order" [ (10, "a"); (20, "b") ]
+    (Trace.to_list tr)
+
+let test_trace_spans () =
+  let tr = Trace.spans () in
+  Trace.open_span tr 0 "x";
+  Trace.open_span tr 5 "y";
+  Trace.close_span tr 10 "x";
+  Trace.close_span tr 20 "y";
+  let spans = Trace.to_spans tr in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  check_int "x duration" 10 (Trace.total_duration tr (fun t -> t = "x"));
+  check_int "y duration" 15 (Trace.total_duration tr (fun t -> t = "y"))
+
+let test_trace_double_open () =
+  let tr = Trace.spans () in
+  Trace.open_span tr 0 "x";
+  Alcotest.check_raises "double open"
+    (Invalid_argument "Trace.open_span: tag already open") (fun () ->
+      Trace.open_span tr 5 "x")
+
+let test_trace_close_all () =
+  let tr = Trace.spans () in
+  Trace.open_span tr 0 1;
+  Trace.open_span tr 2 2;
+  Trace.close_all tr 10;
+  Alcotest.(check int) "both closed" 2 (List.length (Trace.to_spans tr));
+  Alcotest.(check bool) "none open" false (Trace.is_open tr 1)
+
+let test_trace_overlaps () =
+  let s1 = { Trace.start = 0; stop = 10; tag = () } in
+  let s2 = { Trace.start = 5; stop = 15; tag = () } in
+  let s3 = { Trace.start = 10; stop = 20; tag = () } in
+  check_bool "overlap" true (Trace.overlaps s1 s2);
+  check_bool "touching is not overlap" false (Trace.overlaps s1 s3)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("heap order", `Quick, test_heap_order);
+    ("heap interleaved", `Quick, test_heap_interleaved);
+    ("sim same-instant FIFO", `Quick, test_sim_ordering);
+    ("sim cancel", `Quick, test_sim_cancel);
+    ("sim run_until", `Quick, test_sim_run_until);
+    ("sim rejects the past", `Quick, test_sim_past_raises);
+    ("sim nested scheduling", `Quick, test_sim_nested_schedule);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng gaussian moments", `Quick, test_rng_gaussian_moments);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    ("timeline values", `Quick, test_timeline_values);
+    ("timeline integrate", `Quick, test_timeline_integrate);
+    ("timeline same-instant overwrite", `Quick, test_timeline_same_instant_overwrite);
+    ("timeline monotonic guard", `Quick, test_timeline_monotonic_guard);
+    ("timeline samples", `Quick, test_timeline_samples);
+    ("timeline map_intervals", `Quick, test_timeline_map_intervals);
+    ("stats basics", `Quick, test_stats_basics);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats histogram", `Quick, test_stats_histogram);
+    ("trace events", `Quick, test_trace_events);
+    ("trace spans", `Quick, test_trace_spans);
+    ("trace double open", `Quick, test_trace_double_open);
+    ("trace close_all", `Quick, test_trace_close_all);
+    ("trace overlaps", `Quick, test_trace_overlaps);
+    qcheck prop_heap_sorts;
+    qcheck prop_rng_int_bounds;
+    qcheck prop_rng_float_bounds;
+    qcheck prop_timeline_integral_additive;
+    qcheck prop_timeline_integral_nonneg;
+    qcheck prop_stats_mean_bounds;
+  ]

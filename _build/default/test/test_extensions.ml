@@ -1,0 +1,271 @@
+(* Tests for the §7/§8 extensions: OLED display, GPS, sensor hub,
+   app-defined power events, and the ablation switches. *)
+open Psbox_engine
+module System = Psbox_kernel.System
+module Psbox = Psbox_core.Psbox
+module Power_events = Psbox_core.Power_events
+module Display = Psbox_hw.Display
+module Gps = Psbox_hw.Gps
+module Sensor_hub = Psbox_meter.Sensor_hub
+module Sample = Psbox_meter.Sample
+module W = Psbox_workloads.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float e = Alcotest.(check (float e))
+
+(* ---- Display ------------------------------------------------------- *)
+
+let test_display_attribution_exact () =
+  let sim = Sim.create () in
+  let d = Display.create sim ~base_w:0.2 ~w_per_mnit_pixel:0.4 () in
+  check_float 1e-9 "off" 0.0 (Psbox_hw.Power_rail.power (Display.rail d));
+  Display.set_surface d ~app:1 ~pixels:1_000_000 ~luminance:0.5;
+  Display.set_surface d ~app:2 ~pixels:1_000_000 ~luminance:1.0;
+  (* emission: 0.2 + 0.4; base 0.2 split evenly by pixels *)
+  check_float 1e-9 "panel total" 0.8 (Psbox_hw.Power_rail.power (Display.rail d));
+  check_float 1e-9 "app1 share" 0.3 (Display.app_power_w d ~app:1);
+  check_float 1e-9 "app2 share" 0.5 (Display.app_power_w d ~app:2);
+  (* attribution is exact: shares sum to the panel *)
+  check_float 1e-9 "conservation" 0.8
+    (Display.app_power_w d ~app:1 +. Display.app_power_w d ~app:2);
+  Display.remove_surface d ~app:2;
+  check_float 1e-9 "app2 gone" 0.0 (Display.app_power_w d ~app:2);
+  check_float 1e-9 "app1 now carries the base" 0.4 (Display.app_power_w d ~app:1)
+
+let test_display_no_entanglement () =
+  (* app1's attributed power must not change when app2 appears — the §7
+     claim that per-pixel attribution needs no balloons *)
+  let sim = Sim.create () in
+  let d = Display.create sim () in
+  Display.set_surface d ~app:1 ~pixels:500_000 ~luminance:0.8;
+  let alone = Display.app_power_w d ~app:1 in
+  Display.set_surface d ~app:2 ~pixels:800_000 ~luminance:0.3;
+  let co = Display.app_power_w d ~app:1 in
+  (* the emission term is untouched; only the base share is reapportioned
+     by pixels (the attribution policy), and exactly so *)
+  let base_change = 0.25 *. (1.0 -. (500_000.0 /. 1_300_000.0)) in
+  check_float 1e-9 "only the base share moved" base_change (alone -. co)
+
+let test_display_validation () =
+  let sim = Sim.create () in
+  let d = Display.create sim ~width:100 ~height:100 () in
+  Alcotest.check_raises "too many pixels"
+    (Invalid_argument "Display.set_surface: pixels out of range") (fun () ->
+      Display.set_surface d ~app:1 ~pixels:10_001 ~luminance:0.5);
+  Alcotest.check_raises "bad luminance"
+    (Invalid_argument "Display.set_surface: luminance out of range") (fun () ->
+      Display.set_surface d ~app:1 ~pixels:10 ~luminance:1.5)
+
+(* ---- GPS ----------------------------------------------------------- *)
+
+let test_gps_lifecycle () =
+  let sim = Sim.create () in
+  let g = Gps.create sim ~cold_start:(Time.sec 2) () in
+  check_bool "off" true (Gps.state g = Gps.Off);
+  Gps.subscribe g ~app:1;
+  check_bool "acquiring" true (Gps.state g = Gps.Acquiring);
+  check_float 1e-9 "acquire power" 0.18 (Psbox_hw.Power_rail.power (Gps.rail g));
+  Sim.run_until sim (Time.sec 3);
+  check_bool "tracking" true (Gps.has_fix g);
+  check_float 1e-9 "track power" 0.09 (Psbox_hw.Power_rail.power (Gps.rail g));
+  (* a second subscriber joins the live fix at no extra power *)
+  Gps.subscribe g ~app:2;
+  check_float 1e-9 "no extra power" 0.09 (Psbox_hw.Power_rail.power (Gps.rail g));
+  check_int "two subscribers" 2 (Gps.subscribers g);
+  Gps.unsubscribe g ~app:1;
+  check_bool "still tracking" true (Gps.has_fix g);
+  Gps.unsubscribe g ~app:2;
+  check_bool "off after last" true (Gps.state g = Gps.Off)
+
+let test_gps_per_app_view_masks_others () =
+  let sim = Sim.create () in
+  let g = Gps.create sim ~cold_start:(Time.ms 100) () in
+  (* app 2 never subscribes: its view must stay at off power even while
+     app 1 drives the receiver hot *)
+  let spy = Gps.app_rail g ~app:2 in
+  Gps.subscribe g ~app:1;
+  Sim.run_until sim (Time.sec 1);
+  check_float 1e-9 "spy sees nothing" 0.002 (Psbox_hw.Power_rail.power spy);
+  (* and once app 2 subscribes, it sees the live (already tracking) power
+     with no cold-start reconstruction *)
+  Gps.subscribe g ~app:2;
+  check_float 1e-9 "subscriber sees tracking" 0.09 (Psbox_hw.Power_rail.power spy)
+
+let test_gps_psbox_binding () =
+  let sys = System.phone () in
+  let a = System.new_app sys ~name:"nav" in
+  ignore
+    (W.spawn sys ~app:a ~name:"t" ~core:0
+       (W.forever (fun () -> [ W.Sleep (Time.ms 50) ])));
+  System.start sys;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Gps ] in
+  Psbox.enter box;
+  Psbox_hw.Gps.subscribe (System.gps sys) ~app:a.System.app_id;
+  System.run_for sys (Time.sec 10);
+  let mj = Psbox.read_mj box in
+  (* ~8 s acquiring at 0.18 W + ~2 s tracking at 0.09 W ~ 1.6 J *)
+  check_bool (Printf.sprintf "gps energy observed (%.0f mJ)" mj) true
+    (mj > 1_300.0 && mj < 1_900.0);
+  Psbox.leave box;
+  System.shutdown sys
+
+let test_display_psbox_binding () =
+  let sys = System.phone () in
+  let a = System.new_app sys ~name:"ui" in
+  ignore
+    (W.spawn sys ~app:a ~name:"t" ~core:0
+       (W.forever (fun () -> [ W.Sleep (Time.ms 50) ])));
+  System.start sys;
+  let d = System.display sys in
+  Display.set_surface d ~app:a.System.app_id ~pixels:2_000_000 ~luminance:0.5;
+  (* a second app lights pixels too; it must not show in a's view *)
+  Display.set_surface d ~app:999 ~pixels:73_600 ~luminance:1.0;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Display ] in
+  Psbox.enter box;
+  System.run_for sys (Time.sec 1);
+  let mj = Psbox.read_mj box in
+  let expect = Display.app_power_w d ~app:a.System.app_id *. 1e3 in
+  check_bool
+    (Printf.sprintf "display view matches exact share (%.0f vs %.0f mJ)" mj expect)
+    true
+    (Float.abs (mj -. expect) /. expect < 0.01);
+  Psbox.leave box;
+  System.shutdown sys
+
+(* ---- Sensor hub ---------------------------------------------------- *)
+
+let test_sensor_hub_processing () =
+  let sim = Sim.create () in
+  let hub = Sensor_hub.create sim ~samples_per_sec:100_000.0 () in
+  let done_ = ref false in
+  Sensor_hub.process hub ~samples:50_000 ~on_done:(fun () -> done_ := true);
+  check_bool "busy" true (Sensor_hub.busy hub);
+  check_float 1e-9 "active power" 0.013
+    (Psbox_hw.Power_rail.power (Sensor_hub.rail hub));
+  Sim.run_until sim (Time.ms 600);
+  check_bool "half a second of work done" true !done_;
+  check_int "processed" 50_000 (Sensor_hub.processed hub);
+  check_bool "idle again" false (Sensor_hub.busy hub);
+  (* energy: 0.5 s at 13 mW = 6.5 mJ (plus idle slivers) *)
+  let j = Sensor_hub.energy_j hub ~from:0 ~until:(Time.ms 600) in
+  check_bool "energy about 6.5 mJ" true (Float.abs (j -. 0.0065) < 0.0005)
+
+let test_sensor_hub_fifo () =
+  let sim = Sim.create () in
+  let hub = Sensor_hub.create sim () in
+  let order = ref [] in
+  Sensor_hub.process hub ~samples:1000 ~on_done:(fun () -> order := 1 :: !order);
+  Sensor_hub.process hub ~samples:1000 ~on_done:(fun () -> order := 2 :: !order);
+  Sim.run_until sim (Time.sec 1);
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] (List.rev !order)
+
+(* ---- Power events --------------------------------------------------- *)
+
+let mk_samples spec =
+  (* spec: (ms, watts) pairs, 1 ms apart implied by consecutive entries *)
+  Array.of_list (List.map (fun (ms, w) -> Sample.make (Time.ms ms) w) spec)
+
+let test_evaluate_above () =
+  let s = mk_samples [ (0, 0.1); (1, 2.0); (2, 2.0); (3, 2.0); (4, 0.1) ] in
+  (match Power_events.evaluate (Above { watts = 1.0; lasting = Time.ms 2 }) s with
+  | Some t -> check_int "stretch starts at 1ms" (Time.ms 1) t
+  | None -> Alcotest.fail "should fire");
+  check_bool "too-short stretch does not fire" true
+    (Power_events.evaluate (Above { watts = 1.0; lasting = Time.ms 5 }) s = None)
+
+let test_evaluate_below () =
+  let s = mk_samples [ (0, 2.0); (1, 0.1); (2, 0.1); (3, 0.1); (4, 2.0) ] in
+  check_bool "below fires" true
+    (Power_events.evaluate (Below { watts = 1.0; lasting = Time.ms 2 }) s <> None)
+
+let test_evaluate_spike () =
+  let s = mk_samples [ (0, 0.3); (1, 0.32); (2, 1.5); (3, 0.4) ] in
+  (match Power_events.evaluate (Spike { delta_w = 1.0; within = Time.ms 3 }) s with
+  | Some t -> check_int "spike at 2ms" (Time.ms 2) t
+  | None -> Alcotest.fail "spike should fire");
+  check_bool "slow ramp is not a spike" true
+    (Power_events.evaluate
+       (Spike { delta_w = 1.0; within = Time.ms 1 })
+       (mk_samples [ (0, 0.0); (2, 0.6); (4, 1.2) ])
+    = None)
+
+let test_evaluate_rising () =
+  let s = mk_samples [ (0, 0.1); (1, 0.2); (2, 0.3); (3, 0.4); (4, 0.5) ] in
+  check_bool "rising fires" true
+    (Power_events.evaluate (Rising { lasting = Time.ms 3 }) s <> None);
+  let flat = mk_samples [ (0, 0.5); (1, 0.5); (2, 0.5); (3, 0.5); (4, 0.5) ] in
+  check_bool "flat is not rising" true
+    (Power_events.evaluate (Rising { lasting = Time.ms 3 }) flat = None)
+
+let test_subscription_end_to_end () =
+  let sys = System.create ~cores:2 () in
+  let a = System.new_app sys ~name:"a" in
+  (* bursty app: periodic high-power phases *)
+  ignore
+    (W.spawn sys ~app:a ~name:"t" ~core:0
+       (W.forever (fun () -> [ W.Compute (Time.ms 20); W.Sleep (Time.ms 30) ])));
+  System.start sys;
+  let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Cpu ] in
+  Psbox.enter box;
+  let hub = Sensor_hub.create (System.sim sys) () in
+  let fired_at = ref [] in
+  let sub =
+    Power_events.subscribe ~hub sys box
+      ~predicate:(Above { watts = 0.5; lasting = Time.ms 5 })
+      (fun t -> fired_at := t :: !fired_at)
+  in
+  System.run_for sys (Time.sec 1);
+  check_bool
+    (Printf.sprintf "events fired (%d)" (Power_events.fired sub))
+    true
+    (Power_events.fired sub >= 5);
+  check_bool "hub did the processing" true (Sensor_hub.processed hub > 500);
+  Power_events.cancel sub;
+  let n = Power_events.fired sub in
+  System.run_for sys (Time.sec 1);
+  check_int "no events after cancel" n (Power_events.fired sub);
+  Psbox.leave box;
+  System.shutdown sys
+
+(* ---- Ablation switches ---------------------------------------------- *)
+
+let test_ablation_confinement_direction () =
+  let c = Psbox_experiments.Ablation.cpu_confinement ~seed:31 () in
+  let open Psbox_experiments.Ablation in
+  check_bool
+    (Printf.sprintf "confinement protects the sibling (%.1f%% vs %.1f%%)"
+       c.ab_sibling_delta_on c.ab_sibling_delta_off)
+    true
+    (c.ab_sibling_delta_off < c.ab_sibling_delta_on -. 1.0);
+  check_bool "with confinement the sibling is near-unaffected" true
+    (Float.abs c.ab_sibling_delta_on < 3.0)
+
+let test_ablation_vstate_direction () =
+  let v = Psbox_experiments.Ablation.state_virtualization ~seed:41 () in
+  let open Psbox_experiments.Ablation in
+  check_bool
+    (Printf.sprintf "virtualization removes the lingering gap (%.1f%% vs %.1f%%)"
+       v.ab_gap_on_pct v.ab_gap_off_pct)
+    true
+    (v.ab_gap_on_pct < 5.0 && v.ab_gap_off_pct > 20.0)
+
+let suite =
+  [
+    ("display attribution exact", `Quick, test_display_attribution_exact);
+    ("display no entanglement", `Quick, test_display_no_entanglement);
+    ("display validation", `Quick, test_display_validation);
+    ("gps lifecycle", `Quick, test_gps_lifecycle);
+    ("gps per-app view masks others", `Quick, test_gps_per_app_view_masks_others);
+    ("gps psbox binding", `Quick, test_gps_psbox_binding);
+    ("display psbox binding", `Quick, test_display_psbox_binding);
+    ("sensor hub processing", `Quick, test_sensor_hub_processing);
+    ("sensor hub fifo", `Quick, test_sensor_hub_fifo);
+    ("evaluate Above", `Quick, test_evaluate_above);
+    ("evaluate Below", `Quick, test_evaluate_below);
+    ("evaluate Spike", `Quick, test_evaluate_spike);
+    ("evaluate Rising", `Quick, test_evaluate_rising);
+    ("power events end to end", `Quick, test_subscription_end_to_end);
+    ("ablation: confinement direction", `Slow, test_ablation_confinement_direction);
+    ("ablation: vstate direction", `Slow, test_ablation_vstate_direction);
+  ]

@@ -1,0 +1,198 @@
+(* Randomized whole-kernel stress properties: arbitrary workload scripts,
+   arbitrary psbox enter/leave points — the invariants must hold for all of
+   them. *)
+open Psbox_engine
+module System = Psbox_kernel.System
+module Smp = Psbox_kernel.Smp
+module Psbox = Psbox_core.Psbox
+module W = Psbox_workloads.Workload
+module Accel = Psbox_hw.Accel
+module Accel_driver = Psbox_kernel.Accel_driver
+
+(* A random op stream for one task. *)
+let gen_ops ~gpu =
+  QCheck.Gen.(
+    list_size (1 -- 12)
+      (oneof
+         ([
+            map (fun ms -> `Compute (1 + ms)) (0 -- 8);
+            map (fun ms -> `Sleep (1 + ms)) (0 -- 8);
+          ]
+         @ if gpu then [ map (fun ms -> `Gpu (1 + ms)) (0 -- 4) ] else [])))
+
+let to_script ops =
+  let ops =
+    List.map
+      (function
+        | `Compute ms -> W.Compute (Time.ms ms)
+        | `Sleep ms -> W.Sleep (Time.ms ms)
+        | `Gpu ms -> W.Gpu_batch [ W.spec ~kind:"k" ~work_s:(float_of_int ms /. 1e3) () ])
+      ops
+  in
+  W.forever (fun () -> ops)
+
+let arbitrary_scenario ~gpu =
+  QCheck.make
+    ~print:(fun (a, b, enter_ms, leave_ms) ->
+      Printf.sprintf "tasks=%d/%d enter=%dms leave=%dms" (List.length a)
+        (List.length b) enter_ms leave_ms)
+    QCheck.Gen.(
+      quad (gen_ops ~gpu) (gen_ops ~gpu) (10 -- 200) (210 -- 400))
+
+(* Invariant bundle for the CPU: the simulation terminates, busy core-time
+   never exceeds wall capacity, and foreign tasks never run inside the
+   sandboxed app's balloons. *)
+let prop_cpu_invariants =
+  QCheck.Test.make ~name:"random CPU scenarios keep balloon invariants"
+    ~count:40 (arbitrary_scenario ~gpu:false)
+    (fun (ops_a, ops_b, enter_ms, leave_ms) ->
+      let sys = System.create ~cores:2 () in
+      let a = System.new_app sys ~name:"a" in
+      let b = System.new_app sys ~name:"b" in
+      ignore (W.spawn sys ~app:a ~name:"a0" ~core:0 (to_script ops_a));
+      ignore (W.spawn sys ~app:a ~name:"a1" ~core:1 (to_script ops_a));
+      ignore (W.spawn sys ~app:b ~name:"b0" ~core:0 (to_script ops_b));
+      ignore (W.spawn sys ~app:b ~name:"b1" ~core:1 (to_script ops_b));
+      System.start sys;
+      let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Cpu ] in
+      System.run_for sys (Time.ms enter_ms);
+      Psbox.enter box;
+      System.run_for sys (Time.ms (leave_ms - enter_ms));
+      let intervals = Psbox.exclusive_intervals box in
+      Psbox.leave box;
+      System.run_for sys (Time.ms 50);
+      let wall = Time.to_sec_f (System.now sys) in
+      let busy = Psbox_hw.Cpu.busy_core_seconds (System.cpu sys) in
+      Smp.stop (System.smp sys);
+      let spans = Trace.to_spans (Smp.sched_trace (System.smp sys)) in
+      let foreign_inside =
+        List.exists
+          (fun (b0, b1) ->
+            List.exists
+              (fun s ->
+                snd s.Trace.tag = b.System.app_id
+                && min s.Trace.stop b1 > max s.Trace.start b0)
+              spans)
+          intervals
+      in
+      System.shutdown sys;
+      busy <= (2.0 *. wall) +. 1e-9 && not foreign_inside)
+
+(* GPU invariant: every submitted command completes exactly once, even
+   across sandbox churn, and no foreign command executes inside a balloon. *)
+let prop_gpu_invariants =
+  QCheck.Test.make ~name:"random GPU scenarios keep temporal-balloon invariants"
+    ~count:30 (arbitrary_scenario ~gpu:true)
+    (fun (ops_a, ops_b, enter_ms, leave_ms) ->
+      let sys = System.create ~cores:2 ~gpu:true () in
+      let a = System.new_app sys ~name:"a" in
+      let b = System.new_app sys ~name:"b" in
+      ignore (W.spawn sys ~app:a ~name:"a0" ~core:0 (to_script ops_a));
+      ignore (W.spawn sys ~app:b ~name:"b0" ~core:1 (to_script ops_b));
+      System.start sys;
+      let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Gpu ] in
+      System.run_for sys (Time.ms enter_ms);
+      Psbox.enter box;
+      System.run_for sys (Time.ms (leave_ms - enter_ms));
+      Psbox.leave box;
+      System.run_for sys (Time.ms 100);
+      let driver = System.gpu sys in
+      let cmds = Accel_driver.completed_commands driver in
+      let intervals = Accel_driver.balloon_intervals driver in
+      let all_complete =
+        List.for_all
+          (fun c -> c.Accel.started_at <> None && c.Accel.finished_at <> None)
+          cmds
+      in
+      let ids = List.map (fun c -> c.Accel.id) cmds in
+      let unique = List.length (List.sort_uniq compare ids) = List.length ids in
+      let foreign_inside =
+        List.exists
+          (fun (b0, b1) ->
+            List.exists
+              (fun c ->
+                c.Accel.app = b.System.app_id
+                &&
+                match (c.Accel.started_at, c.Accel.finished_at) with
+                | Some s, Some f -> min f b1 > max s b0
+                | _ -> false)
+              cmds)
+          intervals
+      in
+      System.shutdown sys;
+      all_complete && unique && not foreign_inside)
+
+(* The virtual meter never reports below the idle floor nor above the
+   physical rail's maximum. *)
+let prop_meter_bounded =
+  QCheck.Test.make ~name:"virtual meter stays within physical bounds" ~count:40
+    (arbitrary_scenario ~gpu:false)
+    (fun (ops_a, ops_b, enter_ms, leave_ms) ->
+      let sys = System.create ~cores:2 () in
+      let a = System.new_app sys ~name:"a" in
+      let b = System.new_app sys ~name:"b" in
+      ignore (W.spawn sys ~app:a ~name:"a0" ~core:0 (to_script ops_a));
+      ignore (W.spawn sys ~app:b ~name:"b0" ~core:1 (to_script ops_b));
+      System.start sys;
+      let box = Psbox.create sys ~app:a.System.app_id ~hw:[ Psbox.Cpu ] in
+      System.run_for sys (Time.ms enter_ms);
+      Psbox.enter box;
+      System.run_for sys (Time.ms (leave_ms - enter_ms));
+      let samples = Psbox.sample ~period:(Time.us 500) box in
+      Psbox.leave box;
+      let idle = Psbox_hw.Power_rail.idle_w (Psbox_hw.Cpu.rail (System.cpu sys)) in
+      (* top OPP, both cores: 0.3 + 1.2 + 2x1.0 *)
+      let phys_max = 3.5 +. 1e-9 in
+      let ok =
+        Array.for_all
+          (fun s ->
+            s.Psbox_meter.Sample.watts >= idle -. 1e-9
+            && s.Psbox_meter.Sample.watts <= phys_max)
+          samples
+      in
+      System.shutdown sys;
+      ok)
+
+(* The paper's core claim as a property: the psbox observation of a FIXED
+   workload stays in a narrow band regardless of what random co-runners do
+   on the machine. *)
+let fixed_job_mj ~co_ops =
+  let sys = System.create ~seed:97 ~cores:2 () in
+  let main = System.new_app sys ~name:"fixed" in
+  ignore
+    (W.spawn sys ~app:main ~name:"job" ~core:0
+       (W.repeat 40 (fun _ -> [ W.Compute (Time.ms 6); W.Sleep (Time.ms 2) ])));
+  (match co_ops with
+  | Some ops ->
+      let co = System.new_app sys ~name:"co" in
+      ignore (W.spawn sys ~app:co ~name:"co0" ~core:1 (to_script ops));
+      ignore (W.spawn sys ~app:co ~name:"co1" ~core:0 (to_script ops))
+  | None -> ());
+  let box = Psbox.create sys ~app:main.System.app_id ~hw:[ Psbox.Cpu ] in
+  System.start sys;
+  Psbox.enter box;
+  W.run_until_idle sys ~apps:[ main ] ~timeout:(Time.sec 10);
+  let mj = Psbox.read_mj box in
+  Psbox.leave box;
+  System.shutdown sys;
+  mj
+
+let reference_mj = lazy (fixed_job_mj ~co_ops:None)
+
+let prop_observation_insulated =
+  QCheck.Test.make
+    ~name:"psbox observation insulated from arbitrary co-runners" ~count:25
+    (QCheck.make
+       ~print:(fun ops -> Printf.sprintf "|ops|=%d" (List.length ops))
+       (gen_ops ~gpu:false))
+    (fun ops ->
+      let alone = Lazy.force reference_mj in
+      let co = fixed_job_mj ~co_ops:(Some ops) in
+      Float.abs (co -. alone) /. alone < 0.15)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cpu_invariants; prop_gpu_invariants; prop_meter_bounded;
+      prop_observation_insulated;
+    ]

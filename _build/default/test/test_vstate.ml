@@ -1,0 +1,113 @@
+(* Tests for power-state virtualization. *)
+open Psbox_engine
+module Power_vstate = Psbox_kernel.Power_vstate
+module Cpu = Psbox_hw.Cpu
+module Dvfs = Psbox_hw.Dvfs
+module Wifi = Psbox_hw.Wifi
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_cpu_save_restore_roundtrip () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~governor:Dvfs.Userspace ~cores:2 () in
+  let v = Power_vstate.create sim (Power_vstate.Cpu_dev cpu) in
+  (* the world runs hot *)
+  Dvfs.set_opp (Cpu.dvfs cpu) 4;
+  Power_vstate.on_balloon_start v;
+  (* pristine state restored for the psbox *)
+  check_int "pristine low clock" 0 (Dvfs.opp_index (Cpu.dvfs cpu));
+  Power_vstate.on_balloon_stop v;
+  (* world state back *)
+  check_int "world restored" 4 (Dvfs.opp_index (Cpu.dvfs cpu))
+
+let test_private_governor_ramps () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~governor:Dvfs.Userspace ~cores:2 () in
+  let v = Power_vstate.create sim (Power_vstate.Cpu_dev cpu) in
+  (* accumulate >50 ms of busy balloon time over several short balloons *)
+  for _ = 1 to 8 do
+    Power_vstate.on_balloon_start v;
+    Cpu.set_core_busy cpu ~core:0 true;
+    Cpu.set_core_busy cpu ~core:1 true;
+    Sim.run_until sim (Sim.now sim + Time.ms 10);
+    Cpu.set_core_busy cpu ~core:0 false;
+    Cpu.set_core_busy cpu ~core:1 false;
+    Power_vstate.on_balloon_stop v;
+    Sim.run_until sim (Sim.now sim + Time.ms 5)
+  done;
+  check_int "private ondemand ramped to top" 4
+    (Option.get (Power_vstate.saved_opp v))
+
+let test_private_governor_decays_when_idle () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~governor:Dvfs.Userspace ~cores:2 () in
+  let v = Power_vstate.create sim (Power_vstate.Cpu_dev cpu) in
+  (* ramp first *)
+  Power_vstate.on_balloon_start v;
+  Cpu.set_core_busy cpu ~core:0 true;
+  Sim.run_until sim (Sim.now sim + Time.ms 60);
+  Cpu.set_core_busy cpu ~core:0 false;
+  Power_vstate.on_balloon_stop v;
+  let hot = Option.get (Power_vstate.saved_opp v) in
+  check_int "hot" 4 hot;
+  (* then stay idle inside balloons: must decay *)
+  Power_vstate.on_balloon_start v;
+  Sim.run_until sim (Sim.now sim + Time.ms 60);
+  Power_vstate.on_balloon_stop v;
+  check_bool "decayed" true (Option.get (Power_vstate.saved_opp v) < hot)
+
+let test_device_governor_frozen_during_balloon () =
+  let sim = Sim.create () in
+  let cpu =
+    Cpu.create sim
+      ~governor:(Dvfs.Ondemand { up_threshold = 0.5; sampling = Time.ms 10 })
+      ~cores:1 ()
+  in
+  let v = Power_vstate.create sim (Power_vstate.Cpu_dev cpu) in
+  Power_vstate.on_balloon_start v;
+  check_bool "frozen inside" true (Dvfs.frozen (Cpu.dvfs cpu));
+  Power_vstate.on_balloon_stop v;
+  check_bool "thawed outside" false (Dvfs.frozen (Cpu.dvfs cpu));
+  Cpu.stop cpu
+
+let test_nic_state_virtualized () =
+  let sim = Sim.create () in
+  let nic = Wifi.create sim () in
+  let v = Power_vstate.create sim (Power_vstate.Wifi_dev nic) in
+  (* the world is hot: high mode, awake *)
+  Wifi.set_mode_adapt nic false;
+  Wifi.set_tx_level nic 2;
+  Wifi.restore_power_state nic { Wifi.tx_level = 2; awake = true };
+  Power_vstate.on_balloon_start v;
+  (* pristine: asleep at the saved (initial) level; the world's hot mode
+     must not leak into the psbox *)
+  check_bool "psbox does not inherit wakefulness" false (Wifi.awake nic);
+  Power_vstate.on_balloon_stop v;
+  check_int "world mode restored" 2 (Wifi.tx_level nic);
+  check_bool "world wakefulness restored" true (Wifi.awake nic)
+
+let test_nic_private_mode_follows_own_usage () =
+  let sim = Sim.create () in
+  let nic = Wifi.create sim () in
+  let v = Power_vstate.create sim (Power_vstate.Wifi_dev nic) in
+  (* heavy traffic inside the balloon: the psbox's saved mode rises *)
+  Power_vstate.on_balloon_start v;
+  for _ = 1 to 8 do
+    Wifi.transmit nic (Wifi.packet ~app:1 ~socket:1 ~bytes:60_000 ())
+  done;
+  Sim.run_until sim (Sim.now sim + Time.ms 120);
+  Power_vstate.on_balloon_stop v;
+  let st = Option.get (Power_vstate.saved_nic_state v) in
+  check_int "hot private mode" 2 st.Wifi.tx_level;
+  check_bool "awake after own activity" true st.Wifi.awake
+
+let suite =
+  [
+    ("cpu save/restore roundtrip", `Quick, test_cpu_save_restore_roundtrip);
+    ("private governor ramps", `Quick, test_private_governor_ramps);
+    ("private governor decays", `Quick, test_private_governor_decays_when_idle);
+    ("device governor frozen in balloon", `Quick, test_device_governor_frozen_during_balloon);
+    ("nic state virtualized", `Quick, test_nic_state_virtualized);
+    ("nic private mode follows own usage", `Quick, test_nic_private_mode_follows_own_usage);
+  ]
