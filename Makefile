@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-json smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- --micro-only --json
+
+# Fast end-to-end confidence: full build, the whole test suite, and one
+# reduced experiment driven through the real CLI.
+smoke:
+	dune build
+	dune runtest
+	dune exec bin/psbox_sim.exe -- run fig3
+
+clean:
+	dune clean

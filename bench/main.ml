@@ -176,7 +176,8 @@ let microbench () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
+  let rows = List.sort compare rows in
+  List.filter_map
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
       | Some [ ns ] ->
@@ -185,10 +186,58 @@ let microbench () =
             else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
             else Printf.sprintf "%8.0f ns" ns
           in
-          Printf.printf "  %-52s %s/run\n%!" name pretty
-      | _ -> Printf.printf "  %-52s (no estimate)\n%!" name)
-    (List.sort compare rows)
+          Printf.printf "  %-52s %s/run\n%!" name pretty;
+          Some (name, ns)
+      | _ ->
+          Printf.printf "  %-52s (no estimate)\n%!" name;
+          None)
+    rows
+
+(* Machine-readable results, so perf regressions are diffable across
+   commits: BENCH_<yyyy-mm-dd>.json in the current directory. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json rows =
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"date\": \"%s\",\n  \"unit\": \"ns/run\",\n  \"benchmarks\": [\n" date;
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.3f }%s\n"
+        (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d benchmarks)\n%!" path (List.length rows)
 
 let () =
-  regenerate ();
-  microbench ()
+  let argv = Array.to_list Sys.argv in
+  let json = List.mem "--json" argv in
+  let micro_only = List.mem "--micro-only" argv in
+  List.iter
+    (fun a ->
+      match a with
+      | "--json" | "--micro-only" -> ()
+      | a when a = Sys.argv.(0) -> ()
+      | a ->
+          Printf.eprintf "unknown flag %s (known: --json --micro-only)\n" a;
+          exit 2)
+    argv;
+  if not micro_only then regenerate ();
+  let rows = microbench () in
+  if json then write_json rows

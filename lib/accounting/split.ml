@@ -105,3 +105,78 @@ let windowed_by_count ?(window = Time.ms 100) tl usages ~from ~until =
   List.sort compare !acc
 
 let total_attributed result = List.fold_left (fun a (_, e) -> a +. e) 0.0 result
+
+(* ------------------------------------------------------------------ *)
+(* Online usage-proportional splitting, fed by the power bus.
+
+   The offline [usage_split] reconstructs constant-share segments from a
+   full usage trace and integrates the rail timeline over each — O(history)
+   per query. The live splitter keeps only the current power level and the
+   current share table, and settles [w * share/total * dt] into per-app
+   accumulators at every boundary (a power transition announced on the bus,
+   or a share change reported by the scheduler/driver). Same arithmetic,
+   same segment boundaries, O(apps) per event and O(1) state. *)
+
+type live = {
+  mutable cur_w : float;
+  mutable last_t : Time.t;
+  shares : (int, float) Hashtbl.t;
+  acc : (int, float) Hashtbl.t;
+  mutable lsub : Psbox_engine.Bus.subscription option;
+}
+
+let live_settle lv ~at =
+  let dt = Time.to_sec_f (at - lv.last_t) in
+  if dt > 0.0 then begin
+    let total = Hashtbl.fold (fun _ s a -> if s > 1e-9 then a +. s else a) lv.shares 0.0 in
+    if total > 0.0 then
+      Hashtbl.iter
+        (fun app s ->
+          if s > 1e-9 then begin
+            let cur =
+              match Hashtbl.find_opt lv.acc app with Some x -> x | None -> 0.0
+            in
+            Hashtbl.replace lv.acc app (cur +. (lv.cur_w *. dt *. s /. total))
+          end)
+        lv.shares;
+    lv.last_t <- at
+  end
+  else if dt = 0.0 then ()
+  else invalid_arg "Split.live: time went backwards"
+
+let live rail ~from =
+  let lv =
+    {
+      cur_w = Psbox_hw.Power_rail.power rail;
+      last_t = from;
+      shares = Hashtbl.create 8;
+      acc = Hashtbl.create 8;
+      lsub = None;
+    }
+  in
+  lv.lsub <-
+    Some
+      (Psbox_engine.Bus.subscribe
+         (Psbox_hw.Power_rail.transitions rail)
+         (fun tr ->
+           let open Psbox_hw.Power_rail in
+           live_settle lv ~at:tr.at;
+           lv.cur_w <- tr.after_w));
+  lv
+
+let live_set_share lv ~at ~app share =
+  if share < 0.0 then invalid_arg "Split.live_set_share: negative share";
+  live_settle lv ~at;
+  if share > 1e-9 then Hashtbl.replace lv.shares app share
+  else Hashtbl.remove lv.shares app
+
+let live_read lv ~until =
+  live_settle lv ~at:until;
+  Hashtbl.fold (fun app e acc -> (app, e) :: acc) lv.acc [] |> List.sort compare
+
+let live_detach lv =
+  match lv.lsub with
+  | Some s ->
+      Psbox_engine.Bus.unsubscribe s;
+      lv.lsub <- None
+  | None -> ()

@@ -67,3 +67,31 @@ val windowed_by_count :
     drive the device into hot states. *)
 
 val total_attributed : result -> float
+
+(** {1 Online splitting}
+
+    The live splitter is the bus-era counterpart of {!usage_split}: it
+    subscribes to a rail's power transitions and settles
+    [power * share / total_share * dt] into per-app accumulators at every
+    boundary, so a query is O(apps) instead of a walk over the full usage
+    trace and rail history. Share changes are pushed by whoever multiplexes
+    the device (scheduler, driver) via {!live_set_share}. Over the same
+    window and share trace it attributes exactly what {!usage_split}
+    computes offline. *)
+
+type live
+
+val live : Psbox_hw.Power_rail.t -> from:Psbox_engine.Time.t -> live
+(** Start splitting [rail]'s energy at time [from] (no app is active until
+    shares are reported). *)
+
+val live_set_share : live -> at:Psbox_engine.Time.t -> app:int -> float -> unit
+(** Report that [app]'s usage share of the device is [share] from [at]
+    onwards; 0 removes the app. Events must be fed in time order.
+    @raise Invalid_argument on negative share or time going backwards. *)
+
+val live_read : live -> until:Psbox_engine.Time.t -> result
+(** Per-app energy attributed from [from] up to [until], sorted by app. *)
+
+val live_detach : live -> unit
+(** Unsubscribe from the rail's bus; totals stay readable. *)

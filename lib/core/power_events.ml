@@ -64,39 +64,44 @@ let evaluate pred samples =
 type subscription = {
   mutable live : bool;
   mutable count : int;
+  mutable tick : Sim.periodic option;
 }
 
 let subscribe ?hub ?(period = Time.ms 50) ?(sample_period = Time.ms 1) sys box
     ~predicate callback =
-  let sub = { live = true; count = 0 } in
+  let sub = { live = true; count = 0; tick = None } in
   let sim = System.sim sys in
   let fire t =
     sub.count <- sub.count + 1;
     callback t
   in
-  let rec tick () =
-    if sub.live then begin
-      (if Psbox.inside box then begin
-         let samples = Psbox.sample ~period:sample_period box in
-         (* only this period's window *)
-         let now = Sim.now sim in
-         let window = Sample.between samples ~from:(now - period) ~until:now in
-         let deliver () =
-           if sub.live then
-             match evaluate predicate window with
-             | Some t -> fire t
-             | None -> ()
-         in
-         match hub with
-         | Some h ->
-             Sensor_hub.process h ~samples:(Array.length window) ~on_done:deliver
-         | None -> deliver ()
-       end);
-      ignore (Sim.schedule_after sim period tick)
+  let tick () =
+    if sub.live && Psbox.inside box then begin
+      let samples = Psbox.sample ~period:sample_period box in
+      (* only this period's window *)
+      let now = Sim.now sim in
+      let window = Sample.between samples ~from:(now - period) ~until:now in
+      let deliver () =
+        if sub.live then
+          match evaluate predicate window with
+          | Some t -> fire t
+          | None -> ()
+      in
+      match hub with
+      | Some h ->
+          Sensor_hub.process h ~samples:(Array.length window) ~on_done:deliver
+      | None -> deliver ()
     end
   in
-  ignore (Sim.schedule_after sim period tick);
+  sub.tick <- Some (Sim.schedule_every sim period tick);
   sub
 
-let cancel sub = sub.live <- false
+let cancel sub =
+  sub.live <- false;
+  match sub.tick with
+  | Some p ->
+      Sim.cancel_every p;
+      sub.tick <- None
+  | None -> ()
+
 let fired sub = sub.count

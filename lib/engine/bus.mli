@@ -1,0 +1,34 @@
+(** Synchronous publish/subscribe event bus.
+
+    The instrumentation spine of the simulator: producers (power rails, DVFS
+    governors) publish typed events, and any number of observers (meters,
+    accountants, governors, figure code) subscribe without the producer
+    knowing about them. Delivery is synchronous and in subscription order,
+    which keeps runs deterministic; a bus with no subscribers makes
+    publishing effectively free, so hot paths can publish unconditionally. *)
+
+type 'a t
+(** A bus carrying events of type ['a]. *)
+
+type subscription
+(** A handle on one subscriber, usable to unsubscribe. *)
+
+val create : unit -> 'a t
+
+val subscribe : 'a t -> ('a -> unit) -> subscription
+(** [subscribe bus fn] registers [fn] to be called on every subsequent
+    publication, after all earlier subscribers. A subscriber added while a
+    publication is in flight does not receive that event. *)
+
+val unsubscribe : subscription -> unit
+(** Remove a subscriber. Idempotent. A subscriber removed while a
+    publication is in flight is not called for the remaining deliveries of
+    that event. *)
+
+val active : subscription -> bool
+
+val publish : 'a t -> 'a -> unit
+(** Deliver an event to every active subscriber, synchronously, in
+    subscription order. *)
+
+val subscriber_count : 'a t -> int

@@ -65,3 +65,17 @@ let pop h =
 let clear h =
   h.data <- [||];
   h.len <- 0
+
+let filter_in_place h ~keep =
+  let n = ref 0 in
+  for i = 0 to h.len - 1 do
+    if keep h.data.(i) then begin
+      if !n <> i then h.data.(!n) <- h.data.(i);
+      incr n
+    end
+  done;
+  h.len <- !n;
+  (* bottom-up heapify: O(n) *)
+  for i = (h.len / 2) - 1 downto 0 do
+    sift_down h i
+  done

@@ -21,3 +21,8 @@ val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element. *)
 
 val clear : 'a t -> unit
+
+val filter_in_place : 'a t -> keep:('a -> bool) -> unit
+(** [filter_in_place h ~keep] drops every element for which [keep] is false
+    and restores the heap property, in O(n). Used by the event queue to reap
+    cancelled-event tombstones in bulk. *)

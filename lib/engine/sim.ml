@@ -1,16 +1,26 @@
-type handle = { time : Time.t; seq : int; fn : unit -> unit; mutable live : bool }
+type state = Pending | Fired | Cancelled
 
-type t = {
+type handle = {
+  time : Time.t;
+  seq : int;
+  fn : unit -> unit;
+  mutable state : state;
+  owner : t;
+}
+
+and t = {
   mutable clock : Time.t;
-  mutable seq : int;
+  mutable next_seq : int;
   q : handle Heap.t;
+  mutable dead : int; (* cancelled handles still buried in the heap *)
 }
 
 let compare_handle a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () = { clock = Time.zero; seq = 0; q = Heap.create ~cmp:compare_handle }
+let create () =
+  { clock = Time.zero; next_seq = 0; q = Heap.create ~cmp:compare_handle; dead = 0 }
 
 let now sim = sim.clock
 
@@ -19,24 +29,53 @@ let schedule_at sim time fn =
     invalid_arg
       (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp time
          Time.pp sim.clock);
-  let h = { time; seq = sim.seq; fn; live = true } in
-  sim.seq <- sim.seq + 1;
+  let h = { time; seq = sim.next_seq; fn; state = Pending; owner = sim } in
+  sim.next_seq <- sim.next_seq + 1;
   Heap.push sim.q h;
   h
 
 let schedule_after sim span fn = schedule_at sim (sim.clock + span) fn
-let cancel h = h.live <- false
-let cancelled h = not h.live
+
+(* Periodic-timer churn (scheduler ticks, governor sampling) cancels events
+   constantly; reap the tombstones in bulk once they outnumber live events,
+   so the queue tracks the live population instead of growing with churn. *)
+let maybe_reap sim =
+  if sim.dead > 64 && sim.dead * 2 > Heap.size sim.q then begin
+    Heap.filter_in_place sim.q ~keep:(fun h -> h.state = Pending);
+    sim.dead <- 0
+  end
+
+let cancel h =
+  match h.state with
+  | Pending ->
+      h.state <- Cancelled;
+      h.owner.dead <- h.owner.dead + 1;
+      maybe_reap h.owner
+  | Fired | Cancelled -> ()
+
+let cancelled h = h.state = Cancelled
+
+(* Pop the next handle, discarding tombstones. *)
+let rec pop_live sim =
+  match Heap.pop sim.q with
+  | None -> None
+  | Some h when h.state = Cancelled ->
+      sim.dead <- sim.dead - 1;
+      pop_live sim
+  | Some h -> Some h
 
 let run_until sim limit =
   let rec loop () =
     match Heap.peek sim.q with
     | Some h when h.time <= limit ->
         ignore (Heap.pop sim.q);
-        if h.live then begin
-          sim.clock <- h.time;
-          h.fn ()
-        end;
+        (match h.state with
+        | Cancelled -> sim.dead <- sim.dead - 1
+        | Pending ->
+            h.state <- Fired;
+            sim.clock <- h.time;
+            h.fn ()
+        | Fired -> assert false);
         loop ()
     | Some _ | None -> ()
   in
@@ -45,15 +84,42 @@ let run_until sim limit =
 
 let run sim =
   let rec loop () =
-    match Heap.pop sim.q with
+    match pop_live sim with
     | Some h ->
-        if h.live then begin
-          sim.clock <- h.time;
-          h.fn ()
-        end;
+        h.state <- Fired;
+        sim.clock <- h.time;
+        h.fn ();
         loop ()
     | None -> ()
   in
   loop ()
 
-let pending sim = Heap.size sim.q
+let pending sim = Heap.size sim.q - sim.dead
+let queue_length sim = Heap.size sim.q
+
+(* ------------------------------------------------------------------ *)
+(* Periodic events                                                      *)
+
+type periodic = { mutable current : handle option; mutable stopped : bool }
+
+let schedule_every sim ?start span fn =
+  if span <= 0 then invalid_arg "Sim.schedule_every: period must be positive";
+  let p = { current = None; stopped = false } in
+  let rec fire () =
+    if not p.stopped then begin
+      (* re-arm before running the body, so events the body schedules for
+         the same future instant fire after the next tick (FIFO order) *)
+      p.current <- Some (schedule_after sim span fire);
+      fn ()
+    end
+  in
+  let first = match start with Some t -> t | None -> sim.clock + span in
+  p.current <- Some (schedule_at sim first fire);
+  p
+
+let cancel_every p =
+  p.stopped <- true;
+  (match p.current with Some h -> cancel h | None -> ());
+  p.current <- None
+
+let periodic_stopped p = p.stopped

@@ -2,7 +2,10 @@
 
     A simulator owns a virtual clock and an event queue. Events scheduled for
     the same instant fire in the order they were scheduled (FIFO within an
-    instant), which keeps runs fully deterministic. *)
+    instant), which keeps runs fully deterministic. Cancelled events are
+    tracked exactly ({!pending} reports only live events) and their
+    tombstones are reaped in bulk once they outnumber live events, so
+    periodic-timer churn does not bloat the queue. *)
 
 type t
 
@@ -36,5 +39,30 @@ val run : t -> unit
 (** Fire events until the queue is empty. *)
 
 val pending : t -> int
-(** Number of events still scheduled (including cancelled ones not yet
-    reaped). *)
+(** Number of live events still scheduled. Cancelled events are excluded,
+    whether or not their tombstones have been reaped from the queue yet. *)
+
+val queue_length : t -> int
+(** Physical queue length, including cancelled tombstones awaiting the next
+    bulk reap — a diagnostic; use {!pending} for the live count. *)
+
+(** {1 Periodic events}
+
+    The common self-rescheduling-timer pattern (scheduler ticks, DVFS
+    governor sampling, housekeeping) packaged once: the timer re-arms itself
+    {e before} running its body, so events the body schedules for the same
+    future instant keep firing after the tick, and cancellation removes the
+    in-flight event immediately. *)
+
+type periodic
+(** A recurring event, usable to stop the recurrence. *)
+
+val schedule_every : t -> ?start:Time.t -> Time.span -> (unit -> unit) -> periodic
+(** [schedule_every sim ~start span f] runs [f] at [start] (default: one
+    period from now) and every [span] thereafter until {!cancel_every}.
+    @raise Invalid_argument if [span] is not positive. *)
+
+val cancel_every : periodic -> unit
+(** Stop the recurrence and cancel the in-flight occurrence. Idempotent. *)
+
+val periodic_stopped : periodic -> bool

@@ -201,14 +201,15 @@ let create sim ~name ~units ?(opps = default_opps)
     dev.util_mark_accum <- dev.active_accum;
     util
   in
-  let on_change () =
-    (* Account progress at the old speed, then re-time completions. *)
-    List.iter (fun r -> sync_progress dev r) dev.running;
-    dev.factor <- compute_factor (dvfs_exn dev);
-    List.iter (fun r -> schedule_completion dev r) dev.running;
-    update_power dev
-  in
-  dev.dvfs <- Some (Dvfs.create sim ~opps ~governor ~get_util ~on_change);
+  let d = Dvfs.create sim ~opps ~governor ~get_util in
+  dev.dvfs <- Some d;
+  ignore
+    (Bus.subscribe (Dvfs.changes d) (fun _ ->
+         (* Account progress at the old speed, then re-time completions. *)
+         List.iter (fun r -> sync_progress dev r) dev.running;
+         dev.factor <- compute_factor (dvfs_exn dev);
+         List.iter (fun r -> schedule_completion dev r) dev.running;
+         update_power dev));
   dev.factor <- compute_factor (dvfs_exn dev);
   update_power dev;
   dev

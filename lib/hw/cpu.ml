@@ -90,10 +90,9 @@ let create sim ?(name = "cpu") ?(opps = default_opps)
     cpu.util_mark_accum <- total;
     util
   in
-  cpu.dvfs <-
-    Some
-      (Dvfs.create sim ~opps ~governor ~get_util ~on_change:(fun () ->
-           update_power cpu));
+  let d = Dvfs.create sim ~opps ~governor ~get_util in
+  cpu.dvfs <- Some d;
+  ignore (Bus.subscribe (Dvfs.changes d) (fun _ -> update_power cpu));
   update_power cpu;
   cpu
 

@@ -7,14 +7,16 @@ type governor =
   | Performance
   | Userspace
 
+type change = { at : Time.t; index_before : int; index_after : int; opp : opp }
+
 type t = {
   sim : Sim.t;
   opps : opp array;
   governor : governor;
   get_util : unit -> float;
-  on_change : unit -> unit;
+  changes : change Bus.t;
   mutable index : int;
-  mutable tick : Sim.handle option;
+  mutable tick : Sim.periodic option;
   mutable stopped : bool;
   mutable frozen : bool;
 }
@@ -22,30 +24,31 @@ type t = {
 let set_index d i =
   let i = max 0 (min i (Array.length d.opps - 1)) in
   if i <> d.index then begin
+    let before = d.index in
     d.index <- i;
-    d.on_change ()
+    Bus.publish d.changes
+      { at = Sim.now d.sim; index_before = before; index_after = i; opp = d.opps.(i) }
   end
 
-let rec governor_tick d sampling up_threshold () =
+let governor_tick d up_threshold () =
   if not d.stopped then begin
     let util = d.get_util () in
     if not d.frozen then begin
       if util >= up_threshold then set_index d (Array.length d.opps - 1)
       else set_index d (d.index - 1)
-    end;
-    d.tick <- Some (Sim.schedule_after d.sim sampling (governor_tick d sampling up_threshold))
+    end
   end
 
-let create sim ~opps ~governor ~get_util ~on_change =
+let create sim ~opps ~governor ~get_util =
   if Array.length opps = 0 then invalid_arg "Dvfs.create: no OPPs";
   let index = match governor with Performance -> Array.length opps - 1 | Ondemand _ | Userspace -> 0 in
   let d =
-    { sim; opps; governor; get_util; on_change; index; tick = None;
+    { sim; opps; governor; get_util; changes = Bus.create (); index; tick = None;
       stopped = false; frozen = false }
   in
   (match governor with
   | Ondemand { up_threshold; sampling } ->
-      d.tick <- Some (Sim.schedule_after sim sampling (governor_tick d sampling up_threshold))
+      d.tick <- Some (Sim.schedule_every sim sampling (governor_tick d up_threshold))
   | Performance | Userspace -> ());
   d
 
@@ -54,6 +57,7 @@ let current d = d.opps.(d.index)
 let opps d = d.opps
 let set_opp d i = set_index d i
 let max_index d = Array.length d.opps - 1
+let changes d = d.changes
 
 let freeze d = d.frozen <- true
 let thaw d = d.frozen <- false
@@ -61,4 +65,4 @@ let frozen d = d.frozen
 
 let stop d =
   d.stopped <- true;
-  match d.tick with Some h -> Sim.cancel h | None -> ()
+  match d.tick with Some p -> Sim.cancel_every p | None -> ()

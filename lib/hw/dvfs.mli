@@ -24,6 +24,14 @@ type governor =
   | Performance  (** Pin to the highest OPP. *)
   | Userspace  (** Never move on its own; only {!set_opp} changes it. *)
 
+type change = {
+  at : Psbox_engine.Time.t;
+  index_before : int;
+  index_after : int;
+  opp : opp;  (** the OPP now in effect *)
+}
+(** One OPP move, published on {!changes}. *)
+
 type t
 
 val create :
@@ -31,12 +39,17 @@ val create :
   opps:opp array ->
   governor:governor ->
   get_util:(unit -> float) ->
-  on_change:(unit -> unit) ->
   t
 (** [get_util] must return the device utilization (0..1) accumulated since
-    the previous call; the governor samples it periodically. [on_change]
-    fires whenever the OPP index moves (so the owner can update its rail).
-    The initial OPP is the lowest (or highest for [Performance]). *)
+    the previous call; the governor samples it on a {!Psbox_engine.Sim}
+    periodic timer. Whenever the OPP index moves, a {!change} is published
+    on {!changes} (the owner subscribes to update its rail). The initial
+    OPP is the lowest (or highest for [Performance]); setting it publishes
+    nothing. *)
+
+val changes : t -> change Psbox_engine.Bus.t
+(** The OPP-change bus. Subscribers run synchronously, in subscription
+    order, after the index has moved. *)
 
 val opp_index : t -> int
 val current : t -> opp

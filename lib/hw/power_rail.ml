@@ -1,18 +1,43 @@
 open Psbox_engine
 
+type transition = {
+  rail_name : string;
+  at : Time.t;
+  before_w : float;
+  after_w : float;
+}
+
 type t = {
   sim : Sim.t;
   name : string;
   idle_w : float;
   timeline : Timeline.t;
+  bus : transition Bus.t;
+  mutable cur_w : float;
 }
 
-let create sim ~name ~idle_w =
-  { sim; name; idle_w; timeline = Timeline.create ~initial:idle_w () }
+let create ?retention sim ~name ~idle_w =
+  {
+    sim;
+    name;
+    idle_w;
+    timeline = Timeline.create ~initial:idle_w ?retention ();
+    bus = Bus.create ();
+    cur_w = idle_w;
+  }
 
 let name rail = rail.name
 let idle_w rail = rail.idle_w
-let set_power rail w = Timeline.set rail.timeline (Sim.now rail.sim) w
-let power rail = Timeline.value_at rail.timeline (Sim.now rail.sim)
+
+let set_power rail w =
+  let before = rail.cur_w in
+  Timeline.set rail.timeline (Sim.now rail.sim) w;
+  rail.cur_w <- w;
+  if w <> before then
+    Bus.publish rail.bus
+      { rail_name = rail.name; at = Sim.now rail.sim; before_w = before; after_w = w }
+
+let power rail = rail.cur_w
 let energy_j rail ~from ~until = Timeline.integrate rail.timeline from until
 let timeline rail = rail.timeline
+let transitions rail = rail.bus

@@ -4,12 +4,30 @@
     prototype where CPU, GPU, DSP and the WiFi module each sit behind a
     distinct rail of the in-situ power meter. The rail keeps the full
     piecewise-constant power history so energy can be integrated exactly and
-    a DAQ can resample it at any rate. *)
+    a DAQ can resample it at any rate, and it announces every power
+    transition on a {!Psbox_engine.Bus}, so meters, accountants and
+    governors can subscribe instead of polling the history. *)
+
+type transition = {
+  rail_name : string;
+  at : Psbox_engine.Time.t;
+  before_w : float;
+  after_w : float;
+}
+(** One power transition: at instant [at] the draw changed from [before_w]
+    to [after_w] watts. *)
 
 type t
 
-val create : Psbox_engine.Sim.t -> name:string -> idle_w:float -> t
-(** A rail whose draw starts at [idle_w] watts. *)
+val create :
+  ?retention:Psbox_engine.Time.span ->
+  Psbox_engine.Sim.t ->
+  name:string ->
+  idle_w:float ->
+  t
+(** A rail whose draw starts at [idle_w] watts. [retention] bounds how much
+    power history the rail keeps (see {!Psbox_engine.Timeline.create});
+    omitted, the full history is retained. *)
 
 val name : t -> string
 
@@ -18,13 +36,18 @@ val idle_w : t -> float
 
 val set_power : t -> float -> unit
 (** Record the rail's instantaneous draw changing to the given watts at the
-    current simulated time. *)
+    current simulated time. If the draw actually changes, a {!transition} is
+    published on {!transitions} after the history is updated. *)
 
 val power : t -> float
-(** The current draw in watts. *)
+(** The current draw in watts (O(1)). *)
 
 val energy_j : t -> from:Psbox_engine.Time.t -> until:Psbox_engine.Time.t -> float
 (** Exact energy over a window, in joules. *)
 
 val timeline : t -> Psbox_engine.Timeline.t
 (** The underlying power history. *)
+
+val transitions : t -> transition Psbox_engine.Bus.t
+(** The rail's transition bus. Subscribers are invoked synchronously, in
+    subscription order, every time the draw changes. *)

@@ -49,7 +49,7 @@ type t = {
   rqs : Cfs.t array;
   curr_started : Time.t array;
   work_events : Sim.handle option array;
-  tick_events : Sim.handle option array;
+  tick_events : Sim.periodic option array;
   span_tag : int option array; (* app code of the open trace span per core *)
   task_entities : (int, Entity.t) Hashtbl.t; (* tid -> entity when unsandboxed *)
   apps : (int, Task.t list ref) Hashtbl.t;
@@ -518,10 +518,8 @@ and inner_rotate smp core =
 (* ------------------------------------------------------------------ *)
 (* Ticks                                                                *)
 
-let rec tick smp core =
+let tick smp core =
   if not smp.stopped then begin
-    smp.tick_events.(core) <-
-      Some (Sim.schedule_after smp.sim smp.cfg.tick (fun () -> tick smp core));
     update_curr smp core;
     match smp.live with
     | Some b ->
@@ -542,13 +540,17 @@ let start smp =
   for core = 0 to cores smp - 1 do
     let offset = core * (smp.cfg.tick / cores smp) in
     smp.tick_events.(core) <-
-      Some (Sim.schedule_after smp.sim (smp.cfg.tick + offset) (fun () -> tick smp core));
+      Some
+        (Sim.schedule_every smp.sim
+           ~start:(Sim.now smp.sim + smp.cfg.tick + offset)
+           smp.cfg.tick
+           (fun () -> tick smp core));
     resched smp core
   done
 
 let stop smp =
   smp.stopped <- true;
-  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.tick_events;
+  Array.iter (function Some p -> Sim.cancel_every p | None -> ()) smp.tick_events;
   Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.work_events;
   (match smp.live with Some b -> cosched_out smp b | None -> ());
   Trace.close_all smp.trace (Sim.now smp.sim)

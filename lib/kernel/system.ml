@@ -6,6 +6,14 @@ type app = {
   counters : (string, float) Hashtbl.t;
 }
 
+(* Machine-wide energy bookkeeping, maintained as a bus subscriber: O(1)
+   per power transition, O(1) to query, regardless of history length. *)
+type ledger = {
+  mutable total_w : float; (* current draw summed over all metered rails *)
+  mutable settled_t : Time.t;
+  mutable settled_j : float; (* energy accumulated up to [settled_t] *)
+}
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -16,6 +24,8 @@ type t = {
   net : Net_sched.t option;
   display : Psbox_hw.Display.t option;
   gps : Psbox_hw.Gps.t option;
+  power_bus : Psbox_hw.Power_rail.transition Bus.t;
+  ledger : ledger;
   mutable apps : app list;
   mutable next_app : int;
   mutable started : bool;
@@ -90,8 +100,46 @@ let create ?(seed = 42) ?(cores = 2)
   in
   let display = if display then Some (Psbox_hw.Display.create sim ()) else None in
   let gps = if gps then Some (Psbox_hw.Gps.create sim ()) else None in
+  (* Composition root for the power bus: every metered rail forwards its
+     transitions onto one machine-wide bus, and the energy ledger rides it. *)
+  let rails =
+    [ Psbox_hw.Cpu.rail cpu ]
+    @ (match gpu with
+      | Some g -> [ Psbox_hw.Accel.rail (Accel_driver.device g) ]
+      | None -> [])
+    @ (match dsp with
+      | Some d -> [ Psbox_hw.Accel.rail (Accel_driver.device d) ]
+      | None -> [])
+    @ (match net with
+      | Some n -> [ Psbox_hw.Wifi.rail (Net_sched.nic n) ]
+      | None -> [])
+    @ (match display with Some d -> [ Psbox_hw.Display.rail d ] | None -> [])
+    @ (match gps with Some g -> [ Psbox_hw.Gps.rail g ] | None -> [])
+  in
+  let power_bus = Bus.create () in
+  List.iter
+    (fun r ->
+      ignore
+        (Bus.subscribe (Psbox_hw.Power_rail.transitions r) (Bus.publish power_bus)))
+    rails;
+  let ledger =
+    {
+      total_w =
+        List.fold_left (fun acc r -> acc +. Psbox_hw.Power_rail.power r) 0.0 rails;
+      settled_t = Sim.now sim;
+      settled_j = 0.0;
+    }
+  in
+  ignore
+    (Bus.subscribe power_bus (fun tr ->
+         let open Psbox_hw.Power_rail in
+         ledger.settled_j <-
+           ledger.settled_j
+           +. (ledger.total_w *. Time.to_sec_f (tr.at - ledger.settled_t));
+         ledger.settled_t <- tr.at;
+         ledger.total_w <- ledger.total_w +. tr.after_w -. tr.before_w));
   {
-    sim; rng; cpu; smp; gpu; dsp; net; display; gps;
+    sim; rng; cpu; smp; gpu; dsp; net; display; gps; power_bus; ledger;
     apps = []; next_app = 1; started = false;
   }
 
@@ -172,6 +220,15 @@ let start sys =
 
 let run_for sys span = Sim.run_until sys.sim (Sim.now sys.sim + span)
 let now sys = Sim.now sys.sim
+
+let power_bus sys = sys.power_bus
+let live_power_w sys = sys.ledger.total_w
+
+let live_energy_j sys =
+  sys.ledger.settled_j
+  +. (sys.ledger.total_w *. Time.to_sec_f (Sim.now sys.sim - sys.ledger.settled_t))
+
+let every sys span fn = Sim.schedule_every sys.sim span fn
 
 let shutdown sys =
   Smp.stop sys.smp;

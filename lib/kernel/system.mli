@@ -72,6 +72,31 @@ val has_gps : t -> bool
 val rails : t -> Psbox_hw.Power_rail.t list
 (** All metered rails (CPU first, then GPU/DSP/WiFi as present). *)
 
+(** {1 Power bus}
+
+    The machine's instrumentation spine: every metered rail forwards its
+    power transitions onto one shared bus, wired up at {!create} (the
+    composition root). Meters, accountants and debugging tools subscribe
+    here instead of polling rail histories. *)
+
+val power_bus : t -> Psbox_hw.Power_rail.transition Psbox_engine.Bus.t
+(** The machine-wide power-transition bus. *)
+
+val live_power_w : t -> float
+(** Current draw summed over all metered rails, maintained O(1) by a bus
+    subscriber. *)
+
+val live_energy_j : t -> float
+(** Total energy drawn by all metered rails since boot, in joules —
+    answered from the bus-fed ledger in O(1), independent of how much rail
+    history exists. *)
+
+val every :
+  t -> Psbox_engine.Time.span -> (unit -> unit) -> Psbox_engine.Sim.periodic
+(** [every sys span f] arms a periodic timer on the machine's simulator
+    (first firing one period from now); stop it with
+    {!Psbox_engine.Sim.cancel_every}. *)
+
 (** {1 Apps} *)
 
 val new_app : t -> name:string -> app

@@ -39,3 +39,30 @@ val capture_many :
   (string * Sample.t array) list
 (** Capture several rails simultaneously (same timestamps), keyed by rail
     name. *)
+
+(** {1 Live monitoring}
+
+    A monitor subscribes to a rail's transition bus and integrates energy
+    incrementally as the rail announces power changes — O(1) state, no
+    history walk, and it keeps working after the rail's timeline has been
+    compacted away. *)
+
+type monitor
+
+val monitor : from:Psbox_engine.Time.t -> Psbox_hw.Power_rail.t -> monitor
+(** Start watching a rail now. [from] is the accounting epoch; it must not
+    precede the current simulation time (the monitor sees only future
+    transitions). *)
+
+val monitor_energy_j : monitor -> until:Psbox_engine.Time.t -> float
+(** Energy accumulated from the epoch up to [until] (normally the current
+    time), including the partially elapsed current level. *)
+
+val monitor_transitions : monitor -> int
+(** Number of power transitions observed. *)
+
+val monitor_peak_w : monitor -> float
+(** Highest rail power seen since the epoch (including the initial level). *)
+
+val monitor_detach : monitor -> unit
+(** Unsubscribe from the rail; the accumulated totals stay readable. *)

@@ -31,3 +31,33 @@ val fit : (float array * float) list -> t
 
 val rmse : t -> (float array * float) list -> float
 (** Root-mean-square prediction error over a dataset. *)
+
+(** {1 Bus-fed training collection}
+
+    A collector subscribes to a power-transition bus and snapshots the
+    utilization vector at every transition, paired with the total draw after
+    the change — the training pairs arrive exactly when power actually
+    moved, instead of being polled on a timer and aligned by timestamp. *)
+
+type collector
+
+val collector :
+  Psbox_hw.Power_rail.transition Psbox_engine.Bus.t ->
+  initial_w:float ->
+  utils:(unit -> float array) ->
+  collector
+(** [collector bus ~initial_w ~utils] starts recording. [initial_w] is the
+    current total draw of the rails feeding [bus] (e.g.
+    [System.live_power_w]); the collector maintains the running total from
+    transition deltas. *)
+
+val observations : collector -> (float array * float) list
+(** Pairs in arrival order, ready for {!fit} / {!rmse}. *)
+
+val observation_count : collector -> int
+
+val fit_collected : collector -> t
+(** Least-squares fit over everything collected so far.
+    @raise Invalid_argument if there are too few observations. *)
+
+val collector_detach : collector -> unit

@@ -11,6 +11,7 @@ type t = {
   mutable running : bool;
   mutable backlog : int;
   mutable processed : int;
+  mutable tap : Bus.subscription option;
 }
 
 let create sim ?(name = "sensor-hub") ?(active_w = 0.013) ?(idle_w = 0.0002)
@@ -24,6 +25,7 @@ let create sim ?(name = "sensor-hub") ?(active_w = 0.013) ?(idle_w = 0.0002)
     running = false;
     backlog = 0;
     processed = 0;
+    tap = None;
   }
 
 let rail hub = hub.rail
@@ -54,3 +56,29 @@ let process hub ~samples ~on_done =
   if not hub.running then start_next hub
 
 let energy_j hub ~from ~until = Psbox_hw.Power_rail.energy_j hub.rail ~from ~until
+
+(* Event-driven intake: instead of the application processor pushing batches
+   on a timer, the hub rides a power-transition bus and ingests a batch per
+   transition. Transitions of the hub's own rail are ignored — processing a
+   batch toggles our rail, and reacting to that would feed the hub its own
+   activity forever. *)
+let attach hub bus ~samples_per_event ?(on_done = fun () -> ()) () =
+  if samples_per_event < 0 then
+    invalid_arg "Sensor_hub.attach: negative batch size";
+  (match hub.tap with Some s -> Bus.unsubscribe s | None -> ());
+  hub.tap <-
+    Some
+      (Bus.subscribe bus (fun tr ->
+           if
+             tr.Psbox_hw.Power_rail.rail_name
+             <> Psbox_hw.Power_rail.name hub.rail
+           then process hub ~samples:samples_per_event ~on_done))
+
+let detach hub =
+  match hub.tap with
+  | Some s ->
+      Bus.unsubscribe s;
+      hub.tap <- None
+  | None -> ()
+
+let attached hub = hub.tap <> None

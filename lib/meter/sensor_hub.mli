@@ -35,3 +35,25 @@ val processed : t -> int
 (** Total samples processed so far. *)
 
 val energy_j : t -> from:Psbox_engine.Time.t -> until:Psbox_engine.Time.t -> float
+
+(** {1 Bus-driven intake}
+
+    Instead of an application-processor timer pushing batches, the hub can
+    subscribe to a power-transition bus (a single rail's, or the machine-wide
+    one) and ingest a fixed batch per announced transition. Transitions of
+    the hub's own rail are filtered out so its own processing activity does
+    not re-trigger it. *)
+
+val attach :
+  t ->
+  Psbox_hw.Power_rail.transition Psbox_engine.Bus.t ->
+  samples_per_event:int ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Subscribe the hub to [bus]; replaces any previous attachment. *)
+
+val detach : t -> unit
+(** Stop listening. Already-queued batches still drain. *)
+
+val attached : t -> bool

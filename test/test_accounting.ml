@@ -117,6 +117,41 @@ let prop_attribution_bounded =
       && check Split.last_entity
       && check (Split.windowed_by_count ?window:None))
 
+let test_live_split_matches_offline () =
+  (* Drive one scenario through both paths: the offline segment sweep over
+     the recorded usage trace, and the online bus-fed splitter receiving the
+     same share changes as they happen. *)
+  let sim = Sim.create () in
+  let rail = Psbox_hw.Power_rail.create sim ~name:"dev" ~idle_w:1.0 in
+  let lv = Split.live rail ~from:0 in
+  let at t f = ignore (Sim.schedule_at sim t f) in
+  at (Time.sec 1) (fun () -> Split.live_set_share lv ~at:(Sim.now sim) ~app:1 0.5);
+  at (Time.ms 1500) (fun () -> Psbox_hw.Power_rail.set_power rail 3.0);
+  at (Time.sec 2) (fun () -> Split.live_set_share lv ~at:(Sim.now sim) ~app:2 1.0);
+  at (Time.ms 2500) (fun () -> Psbox_hw.Power_rail.set_power rail 2.0);
+  at (Time.sec 3) (fun () -> Split.live_set_share lv ~at:(Sim.now sim) ~app:1 0.0);
+  at (Time.sec 4) (fun () -> Split.live_set_share lv ~at:(Sim.now sim) ~app:2 0.0);
+  Sim.run_until sim (Time.sec 5);
+  let usages =
+    [ span 1 (Time.sec 1) (Time.sec 3) 0.5; span 2 (Time.sec 2) (Time.sec 4) 1.0 ]
+  in
+  let offline =
+    Split.usage_split (Psbox_hw.Power_rail.timeline rail) usages ~from:0
+      ~until:(Time.sec 5)
+  in
+  let online = Split.live_read lv ~until:(Time.sec 5) in
+  check_int "same apps" (List.length offline) (List.length online);
+  List.iter2
+    (fun (a, e) (a', e') ->
+      check_int "app" a a';
+      check_float 1e-9 (Printf.sprintf "app %d energy" a) e e')
+    offline online;
+  (* the idle [0,1) second is attributed to nobody on both paths *)
+  check_bool "idle unattributed" true
+    (Split.total_attributed online
+    < Psbox_hw.Power_rail.energy_j rail ~from:0 ~until:(Time.sec 5) -. 0.5);
+  Split.live_detach lv
+
 let suite =
   [
     ("segments sweep", `Quick, test_segments_sweep);
@@ -128,5 +163,6 @@ let suite =
     ("last entity handoff", `Quick, test_last_entity_handoff);
     ("shared baseline", `Quick, test_shared_baseline);
     ("windowed by count", `Quick, test_windowed_by_count);
+    ("live split matches offline", `Quick, test_live_split_matches_offline);
     QCheck_alcotest.to_alcotest prop_attribution_bounded;
   ]

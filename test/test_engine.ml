@@ -306,6 +306,271 @@ let test_trace_overlaps () =
   check_bool "overlap" true (Trace.overlaps s1 s2);
   check_bool "touching is not overlap" false (Trace.overlaps s1 s3)
 
+(* ---- Bus ----------------------------------------------------------- *)
+
+let test_bus_order_and_unsubscribe () =
+  let bus = Bus.create () in
+  let log = ref [] in
+  let s1 = Bus.subscribe bus (fun x -> log := ("a", x) :: !log) in
+  let _s2 = Bus.subscribe bus (fun x -> log := ("b", x) :: !log) in
+  Bus.publish bus 1;
+  Alcotest.(check (list (pair string int)))
+    "subscription order" [ ("a", 1); ("b", 1) ] (List.rev !log);
+  check_int "two subscribers" 2 (Bus.subscriber_count bus);
+  Bus.unsubscribe s1;
+  Bus.unsubscribe s1;
+  (* idempotent *)
+  check_bool "inactive" false (Bus.active s1);
+  check_int "one left" 1 (Bus.subscriber_count bus);
+  log := [];
+  Bus.publish bus 2;
+  Alcotest.(check (list (pair string int))) "only b" [ ("b", 2) ] (List.rev !log)
+
+let test_bus_unsubscribe_mid_publish () =
+  let bus = Bus.create () in
+  let log = ref [] in
+  let s2 = ref None in
+  ignore
+    (Bus.subscribe bus (fun x ->
+         log := ("a", x) :: !log;
+         match !s2 with Some s -> Bus.unsubscribe s | None -> ()));
+  s2 := Some (Bus.subscribe bus (fun x -> log := ("b", x) :: !log));
+  Bus.publish bus 1;
+  (* b was unsubscribed by a's handler before delivery reached it *)
+  Alcotest.(check (list (pair string int))) "b skipped" [ ("a", 1) ] (List.rev !log)
+
+let test_bus_subscribe_mid_publish () =
+  let bus = Bus.create () in
+  let log = ref [] in
+  ignore
+    (Bus.subscribe bus (fun x ->
+         log := ("a", x) :: !log;
+         if x = 1 then ignore (Bus.subscribe bus (fun y -> log := ("late", y) :: !log))));
+  Bus.publish bus 1;
+  Alcotest.(check (list (pair string int)))
+    "late subscriber misses in-flight event" [ ("a", 1) ] (List.rev !log);
+  log := [];
+  Bus.publish bus 2;
+  check_int "late subscriber sees the next one" 2 (List.length !log)
+
+(* ---- Sim cancellation bookkeeping ----------------------------------- *)
+
+let test_sim_pending_excludes_cancelled () =
+  let sim = Sim.create () in
+  let h1 = Sim.schedule_at sim 10 (fun () -> ()) in
+  let _h2 = Sim.schedule_at sim 20 (fun () -> ()) in
+  let _h3 = Sim.schedule_at sim 30 (fun () -> ()) in
+  check_int "three live" 3 (Sim.pending sim);
+  Sim.cancel h1;
+  check_int "cancelled excluded immediately" 2 (Sim.pending sim);
+  Sim.cancel h1;
+  (* double cancel must not double-count *)
+  check_int "idempotent cancel" 2 (Sim.pending sim);
+  Sim.run sim;
+  check_int "drained" 0 (Sim.pending sim)
+
+let test_sim_bulk_reap () =
+  let sim = Sim.create () in
+  let handles =
+    Array.init 200 (fun i -> Sim.schedule_at sim ((i + 1) * 10) (fun () -> ()))
+  in
+  check_int "all queued" 200 (Sim.queue_length sim);
+  for i = 0 to 149 do
+    Sim.cancel handles.(i)
+  done;
+  check_int "live count exact" 50 (Sim.pending sim);
+  check_bool "tombstones reaped in bulk" true (Sim.queue_length sim < 200);
+  let fired = ref 0 in
+  ignore (Sim.schedule_at sim 5_000 (fun () -> ()));
+  Array.iter (fun h -> if not (Sim.cancelled h) then incr fired) handles;
+  Sim.run sim;
+  check_int "survivors still fire" 50 !fired;
+  check_int "empty" 0 (Sim.queue_length sim)
+
+let test_sim_schedule_every () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let p = Sim.schedule_every sim 10 (fun () -> fires := Sim.now sim :: !fires) in
+  Sim.run_until sim 35;
+  Alcotest.(check (list int)) "fires every period" [ 10; 20; 30 ] (List.rev !fires);
+  check_bool "not stopped" false (Sim.periodic_stopped p);
+  Sim.cancel_every p;
+  check_bool "stopped" true (Sim.periodic_stopped p);
+  check_int "in-flight occurrence cancelled" 0 (Sim.pending sim);
+  Sim.run_until sim 100;
+  check_int "no more fires" 3 (List.length !fires);
+  Sim.cancel_every p (* idempotent *)
+
+let test_sim_schedule_every_start () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let p =
+    Sim.schedule_every sim ~start:5 10 (fun () -> fires := Sim.now sim :: !fires)
+  in
+  Sim.run_until sim 26;
+  Alcotest.(check (list int)) "offset start" [ 5; 15; 25 ] (List.rev !fires);
+  Sim.cancel_every p
+
+let test_sim_schedule_every_rearms_before_body () =
+  (* The body schedules work for its own instant; because the timer re-armed
+     first, that work still runs before the next tick. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let p =
+    Sim.schedule_every sim 10 (fun () ->
+        log := `Tick (Sim.now sim) :: !log;
+        ignore (Sim.schedule_after sim 0 (fun () -> log := `After (Sim.now sim) :: !log)))
+  in
+  Sim.run_until sim 20;
+  Sim.cancel_every p;
+  Alcotest.(check bool) "tick then same-instant work, twice" true
+    (List.rev !log = [ `Tick 10; `After 10; `Tick 20; `After 20 ])
+
+(* ---- Heap maintenance ----------------------------------------------- *)
+
+let test_heap_filter_in_place () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 9; 3; 7; 1; 8; 2; 6; 4; 5; 0 ];
+  Heap.filter_in_place h ~keep:(fun x -> x mod 2 = 0);
+  check_int "evens kept" 5 (Heap.size h);
+  let rec drain acc =
+    match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "still a heap" [ 0; 2; 4; 6; 8 ] (drain [])
+
+let prop_heap_filter_keeps_order =
+  QCheck.Test.make ~name:"filter_in_place preserves heap order" ~count:200
+    QCheck.(pair (list int) (int_bound 10))
+    (fun (xs, k) ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let keep x = abs x mod 11 >= k in
+      Heap.filter_in_place h ~keep;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare (List.filter keep xs))
+
+let prop_heap_model =
+  (* Random interleaving of pushes and pops, checked against a sorted-list
+     model of the same operations. *)
+  QCheck.Test.make ~name:"heap matches a sorted-list model" ~count:200
+    QCheck.(list (pair bool int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := List.sort compare (x :: !model);
+            Heap.size h = List.length !model
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some y, m :: rest ->
+                model := rest;
+                y = m
+            | _ -> false)
+        ops)
+
+(* ---- Timeline prefix sums and compaction ----------------------------- *)
+
+(* Reference integrator: a plain walk over the step function, the way
+   [integrate] worked before the prefix-sum refactor. *)
+let naive_integrate bps ~initial t0 t1 =
+  let points =
+    (0, initial) :: bps
+    |> List.filter (fun (bt, _) -> bt < t1)
+  in
+  let rec walk acc = function
+    | [] -> acc
+    | (bt, v) :: rest ->
+        let stop = match rest with (bt', _) :: _ -> min bt' t1 | [] -> t1 in
+        let start = max bt t0 in
+        let acc =
+          if stop > start then acc +. (v *. Time.to_sec_f (stop - start)) else acc
+        in
+        walk acc rest
+  in
+  walk 0.0 points
+
+let prop_timeline_matches_naive =
+  QCheck.Test.make ~name:"prefix-sum integrate matches naive walk" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 40) (pair (int_bound 1000) (float_range 0.0 10.0)))
+        (int_bound 20_000) (int_bound 20_000))
+    (fun (changes, a, b) ->
+      let initial = 1.5 in
+      let tl = Timeline.create ~initial () in
+      let t = ref 0 in
+      let bps =
+        List.map
+          (fun (dt, v) ->
+            t := !t + dt + 1;
+            Timeline.set tl !t v;
+            (!t, v))
+          changes
+      in
+      (* [set] at an existing instant overwrites, so dedup the reference the
+         same way (our generator always advances time; keep it anyway) *)
+      let t0 = min a b and t1 = max a b in
+      let exact = Timeline.integrate tl t0 t1 in
+      let naive = naive_integrate bps ~initial t0 t1 in
+      Float.abs (exact -. naive) <= 1e-9 *. Float.max 1.0 (Float.abs naive))
+
+let test_timeline_energy_at () =
+  let tl = Timeline.create ~initial:2.0 () in
+  Timeline.set tl (Time.sec 1) 4.0;
+  check_float "origin" 0.0 (Timeline.energy_at tl 0);
+  check_float "first segment" 2.0 (Timeline.energy_at tl (Time.sec 1));
+  check_float "across breakpoint" 6.0 (Timeline.energy_at tl (Time.sec 2));
+  check_float "difference is integrate" 4.0
+    (Timeline.energy_at tl (Time.sec 2) -. Timeline.energy_at tl (Time.sec 1))
+
+let test_timeline_compact () =
+  let tl = Timeline.create ~initial:0.0 () in
+  for i = 1 to 10 do
+    Timeline.set tl (Time.sec i) (float_of_int i)
+  done;
+  check_int "11 breakpoints" 11 (Timeline.length tl);
+  let tail = Timeline.integrate tl (Time.sec 6) (Time.sec 10) in
+  let e8 = Timeline.energy_at tl (Time.sec 8) in
+  let dropped = Timeline.compact tl ~before:(Time.sec 6) in
+  check_int "dropped" 6 dropped;
+  check_int "dropped counter" 6 (Timeline.dropped tl);
+  check_int "retained" 5 (Timeline.length tl);
+  (* inside the retained horizon everything stays exact, including the
+     absolute energy origin *)
+  check_float "energy origin stable" e8 (Timeline.energy_at tl (Time.sec 8));
+  check_float "retained window exact" tail
+    (Timeline.integrate tl (Time.sec 6) (Time.sec 10));
+  check_float "value at horizon" 6.0 (Timeline.value_at tl (Time.sec 6));
+  (* pre-horizon queries degrade to the oldest retained value, as documented *)
+  check_float "pre-horizon degrades" 6.0 (Timeline.value_at tl (Time.sec 2))
+
+let test_timeline_retention () =
+  let tl = Timeline.create ~initial:0.0 ~retention:(Time.sec 2) () in
+  for i = 1 to 100 do
+    Timeline.set tl (Time.ms (i * 100)) (float_of_int (i mod 7))
+  done;
+  (* 10 s of history at 100 ms per breakpoint, 2 s retention: far fewer than
+     101 breakpoints retained, and recent integrals still exact *)
+  check_bool "history bounded" true (Timeline.length tl < 50);
+  check_bool "something dropped" true (Timeline.dropped tl > 0);
+  let exact_recent =
+    let rec sum i acc =
+      if i > 99 then acc
+      else sum (i + 1) (acc +. (float_of_int (i mod 7) *. 0.1))
+    in
+    sum 91 0.0
+  in
+  check_bool "recent window exact" true
+    (Float.abs (Timeline.integrate tl (Time.ms 9_100) (Time.sec 10) -. exact_recent)
+    < 1e-9)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -337,7 +602,22 @@ let suite =
     ("trace double open", `Quick, test_trace_double_open);
     ("trace close_all", `Quick, test_trace_close_all);
     ("trace overlaps", `Quick, test_trace_overlaps);
+    ("bus order and unsubscribe", `Quick, test_bus_order_and_unsubscribe);
+    ("bus unsubscribe mid-publish", `Quick, test_bus_unsubscribe_mid_publish);
+    ("bus subscribe mid-publish", `Quick, test_bus_subscribe_mid_publish);
+    ("sim pending excludes cancelled", `Quick, test_sim_pending_excludes_cancelled);
+    ("sim bulk tombstone reap", `Quick, test_sim_bulk_reap);
+    ("sim schedule_every", `Quick, test_sim_schedule_every);
+    ("sim schedule_every start", `Quick, test_sim_schedule_every_start);
+    ("sim schedule_every re-arms first", `Quick, test_sim_schedule_every_rearms_before_body);
+    ("heap filter_in_place", `Quick, test_heap_filter_in_place);
+    ("timeline energy_at", `Quick, test_timeline_energy_at);
+    ("timeline compact", `Quick, test_timeline_compact);
+    ("timeline retention", `Quick, test_timeline_retention);
     qcheck prop_heap_sorts;
+    qcheck prop_heap_filter_keeps_order;
+    qcheck prop_heap_model;
+    qcheck prop_timeline_matches_naive;
     qcheck prop_rng_int_bounds;
     qcheck prop_rng_float_bounds;
     qcheck prop_timeline_integral_additive;

@@ -35,7 +35,6 @@ let test_dvfs_performance_pins_top () =
   let d =
     Dvfs.create sim ~opps ~governor:Dvfs.Performance
       ~get_util:(fun () -> 0.0)
-      ~on_change:(fun () -> ())
   in
   check_int "top opp" 2 (Dvfs.opp_index d)
 
@@ -48,8 +47,8 @@ let test_dvfs_ondemand_ramp_and_decay () =
       ~opps
       ~governor:(Dvfs.Ondemand { up_threshold = 0.8; sampling = Time.ms 10 })
       ~get_util:(fun () -> !util)
-      ~on_change:(fun () -> incr changes)
   in
+  ignore (Bus.subscribe (Dvfs.changes d) (fun _ -> incr changes));
   check_int "starts lowest" 0 (Dvfs.opp_index d);
   Sim.run_until sim (Time.ms 15);
   check_int "jumps to top under load" 2 (Dvfs.opp_index d);
@@ -66,7 +65,6 @@ let test_dvfs_freeze () =
     Dvfs.create sim ~opps
       ~governor:(Dvfs.Ondemand { up_threshold = 0.8; sampling = Time.ms 10 })
       ~get_util:(fun () -> 1.0)
-      ~on_change:(fun () -> ())
   in
   Dvfs.freeze d;
   Sim.run_until sim (Time.ms 50);
@@ -82,7 +80,6 @@ let test_dvfs_set_opp () =
   let d =
     Dvfs.create sim ~opps ~governor:Dvfs.Userspace
       ~get_util:(fun () -> 1.0)
-      ~on_change:(fun () -> ())
   in
   Dvfs.set_opp d 1;
   check_int "set" 1 (Dvfs.opp_index d);

@@ -88,6 +88,43 @@ let test_pay_as_you_go_cycles () =
     true
     (hi < 1.5 *. lo)
 
+let test_power_bus_and_ledger () =
+  let sys = System.am57 () in
+  let transitions = ref 0 in
+  ignore
+    (Psbox_engine.Bus.subscribe (System.power_bus sys) (fun _ -> incr transitions));
+  let a = System.new_app sys ~name:"a" in
+  ignore
+    (W.spawn sys ~app:a ~name:"t" ~core:0
+       (W.forever (fun () -> [ W.Compute (Time.ms 4); W.Sleep (Time.ms 1) ])));
+  System.start sys;
+  System.run_for sys (Time.sec 2);
+  check_bool "rail transitions forwarded machine-wide" true (!transitions > 0);
+  (* the O(1) bus-fed ledger agrees with exact per-rail integration *)
+  let now = System.now sys in
+  let exact =
+    List.fold_left
+      (fun acc r -> acc +. Psbox_hw.Power_rail.energy_j r ~from:0 ~until:now)
+      0.0 (System.rails sys)
+  in
+  check_bool
+    (Printf.sprintf "ledger matches integrals (%.6f vs %.6f J)"
+       (System.live_energy_j sys) exact)
+    true
+    (Float.abs (System.live_energy_j sys -. exact) < 1e-6);
+  check_bool "live power positive" true (System.live_power_w sys > 0.0);
+  System.shutdown sys
+
+let test_system_every () =
+  let sys = System.create () in
+  let fires = ref 0 in
+  let p = System.every sys (Time.ms 100) (fun () -> incr fires) in
+  System.run_for sys (Time.ms 550);
+  check_int "five fires" 5 !fires;
+  Psbox_engine.Sim.cancel_every p;
+  System.run_for sys (Time.ms 500);
+  check_int "stopped" 5 !fires
+
 let suite =
   [
     ("platform presets", `Quick, test_presets);
@@ -95,4 +132,6 @@ let suite =
     ("app registry and counters", `Quick, test_app_registry_and_counters);
     ("run_for advances clock", `Quick, test_run_for_advances_clock);
     ("pay-as-you-go cycling", `Quick, test_pay_as_you_go_cycles);
+    ("power bus and energy ledger", `Quick, test_power_bus_and_ledger);
+    ("System.every periodic", `Quick, test_system_every);
   ]
