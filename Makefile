@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json smoke clean
+.PHONY: all build test bench bench-json bench-diff smoke clean
 
 all: build
 
@@ -16,12 +16,18 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --micro-only --json
 
+# Compare the latest two BENCH_<date>.json snapshots; fails on a >20%
+# regression. A no-op (exit 0) with fewer than two snapshots.
+bench-diff:
+	dune exec bench/diff.exe
+
 # Fast end-to-end confidence: full build, the whole test suite, and one
 # reduced experiment driven through the real CLI.
 smoke:
 	dune build
 	dune runtest
 	dune exec bin/psbox_sim.exe -- run fig3
+	dune exec bench/diff.exe
 
 clean:
 	dune clean

@@ -1,0 +1,102 @@
+(* Compare the two most recent BENCH_<date>.json snapshots in the current
+   directory and fail (exit 1) if any benchmark regressed by more than 20%.
+
+   The snapshot format is the fixed, line-oriented JSON that
+   [bench/main.ml --json] writes, so a scanf-grade parser is enough — no
+   JSON dependency. With fewer than two snapshots there is nothing to
+   compare and the tool exits 0, so it can sit on the smoke path from the
+   first commit.
+
+   Run with:  make bench-diff  (or  dune exec bench/diff.exe) *)
+
+let threshold_pct = 20.0
+
+let parse_line line =
+  (* ...{ "name": "<name>", "ns_per_run": <float> }... *)
+  let find_sub s sub from =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  match find_sub line "\"name\": \"" 0 with
+  | None -> None
+  | Some i -> (
+      let start = i + 9 in
+      match find_sub line "\", \"ns_per_run\": " start with
+      | None -> None
+      | Some j ->
+          let name = String.sub line start (j - start) in
+          let rest = String.sub line (j + 17) (String.length line - j - 17) in
+          let num =
+            String.to_seq rest
+            |> Seq.take_while (fun c ->
+                   (c >= '0' && c <= '9') || c = '.' || c = '-' || c = 'e')
+            |> String.of_seq
+          in
+          (try Some (name, float_of_string num) with Failure _ -> None))
+
+let load path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       match parse_line (input_line ic) with
+       | Some row -> rows := row :: !rows
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let () =
+  let snapshots =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare (* BENCH_<yyyy-mm-dd> sorts chronologically *)
+  in
+  match List.rev snapshots with
+  | newer :: older :: _ ->
+      let base = load older and cur = load newer in
+      Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n" older newer
+        threshold_pct;
+      let regressions = ref 0 and compared = ref 0 in
+      List.iter
+        (fun (name, ns) ->
+          match List.assoc_opt name base with
+          | None -> Printf.printf "  NEW    %-52s %12.0f ns\n" name ns
+          | Some ns0 ->
+              incr compared;
+              let pct =
+                if ns0 > 0.0 then (ns -. ns0) /. ns0 *. 100.0 else 0.0
+              in
+              let tag =
+                if pct > threshold_pct then begin
+                  incr regressions;
+                  "REGRESS"
+                end
+                else if pct < -.threshold_pct then "IMPROVE"
+                else "ok"
+              in
+              Printf.printf "  %-8s%-52s %12.0f ns  %+6.1f%%\n" tag name ns pct)
+        cur;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name cur) then
+            Printf.printf "  GONE   %s\n" name)
+        base;
+      if !regressions > 0 then begin
+        Printf.printf "bench-diff: %d of %d benchmarks regressed >%.0f%%\n"
+          !regressions !compared threshold_pct;
+        exit 1
+      end
+      else Printf.printf "bench-diff: %d benchmarks within threshold\n" !compared
+  | _ ->
+      print_endline
+        "bench-diff: fewer than two BENCH_*.json snapshots, nothing to compare"

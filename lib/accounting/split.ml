@@ -123,6 +123,8 @@ type live = {
   shares : (int, float) Hashtbl.t;
   acc : (int, float) Hashtbl.t;
   mutable lsub : Psbox_engine.Bus.subscription option;
+  mutable ssub : Psbox_engine.Bus.subscription option;
+      (* share-bus feed, when wired by a live_* constructor *)
 }
 
 let live_settle lv ~at =
@@ -152,6 +154,7 @@ let live rail ~from =
       shares = Hashtbl.create 8;
       acc = Hashtbl.create 8;
       lsub = None;
+      ssub = None;
     }
   in
   lv.lsub <-
@@ -175,8 +178,57 @@ let live_read lv ~until =
   Hashtbl.fold (fun app e acc -> (app, e) :: acc) lv.acc [] |> List.sort compare
 
 let live_detach lv =
-  match lv.lsub with
+  (match lv.lsub with
   | Some s ->
       Psbox_engine.Bus.unsubscribe s;
       lv.lsub <- None
+  | None -> ());
+  match lv.ssub with
+  | Some s ->
+      Psbox_engine.Bus.unsubscribe s;
+      lv.ssub <- None
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Auto-wired live splitters: the scheduler and device drivers publish
+   their own share changes, so nobody has to call [live_set_share] by
+   hand. *)
+
+let live_cpu smp ~from =
+  let module Smp = Psbox_kernel.Smp in
+  let lv = live (Psbox_hw.Cpu.rail (Smp.cpu smp)) ~from in
+  (* seed with whoever is on-core right now; later changes stream in *)
+  let counts = Hashtbl.create 4 in
+  for core = 0 to Smp.cores smp - 1 do
+    match Smp.running_app smp ~core with
+    | Some app ->
+        let c = match Hashtbl.find_opt counts app with Some c -> c | None -> 0 in
+        Hashtbl.replace counts app (c + 1)
+    | None -> ()
+  done;
+  Hashtbl.iter
+    (fun app c -> live_set_share lv ~at:from ~app (float_of_int c))
+    counts;
+  lv.ssub <-
+    Some
+      (Psbox_engine.Bus.subscribe (Smp.share_bus smp) (fun c ->
+           live_set_share lv ~at:c.Smp.at ~app:c.Smp.app c.Smp.share));
+  lv
+
+let live_accel d ~from =
+  let module Ad = Psbox_kernel.Accel_driver in
+  let lv = live (Psbox_hw.Accel.rail (Ad.device d)) ~from in
+  lv.ssub <-
+    Some
+      (Psbox_engine.Bus.subscribe (Ad.share_bus d) (fun c ->
+           live_set_share lv ~at:c.Ad.at ~app:c.Ad.app c.Ad.share));
+  lv
+
+let live_net n ~from =
+  let module Ns = Psbox_kernel.Net_sched in
+  let lv = live (Psbox_hw.Wifi.rail (Ns.nic n)) ~from in
+  lv.ssub <-
+    Some
+      (Psbox_engine.Bus.subscribe (Ns.share_bus n) (fun c ->
+           live_set_share lv ~at:c.Ns.at ~app:c.Ns.app c.Ns.share));
+  lv

@@ -94,4 +94,26 @@ val live_read : live -> until:Psbox_engine.Time.t -> result
 (** Per-app energy attributed from [from] up to [until], sorted by app. *)
 
 val live_detach : live -> unit
-(** Unsubscribe from the rail's bus; totals stay readable. *)
+(** Unsubscribe from the rail's bus (and the share bus, for auto-wired
+    splitters); totals stay readable. *)
+
+(** {2 Auto-wired splitters}
+
+    The SMP scheduler and the device drivers publish their own share
+    changes on per-subsystem buses, so live attribution needs no manual
+    {!live_set_share} pushes: each constructor subscribes to the right
+    share bus and forwards every change. *)
+
+val live_cpu : Psbox_kernel.Smp.t -> from:Psbox_engine.Time.t -> live
+(** Split the CPU rail by running-core counts from
+    {!Psbox_kernel.Smp.share_bus}. Shares are seeded from whatever is
+    on-core at [from], so mid-run attachment starts correct. *)
+
+val live_accel : Psbox_kernel.Accel_driver.t -> from:Psbox_engine.Time.t -> live
+(** Split the accelerator's rail by per-app in-flight command counts from
+    {!Psbox_kernel.Accel_driver.share_bus}. Commands already on the device
+    at [from] are picked up at their next dispatch/completion event. *)
+
+val live_net : Psbox_kernel.Net_sched.t -> from:Psbox_engine.Time.t -> live
+(** Split the NIC's rail by per-app in-flight frame counts from
+    {!Psbox_kernel.Net_sched.share_bus}. *)

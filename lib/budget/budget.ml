@@ -1,0 +1,347 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+module Smp = Psbox_kernel.Smp
+module Accel_driver = Psbox_kernel.Accel_driver
+module Net_sched = Psbox_kernel.Net_sched
+module Split = Psbox_accounting.Split
+
+type demand =
+  | Cap of float
+  | Envelope of { joules : float; horizon : Time.span }
+
+type admission = Admitted | Queued | Rejected
+
+(* Throttle floor: even a hopeless cap (below the app's attributed idle
+   share) leaves the app a sliver of every period, so it degrades
+   gracefully instead of starving. *)
+let throttle_floor = 0.02
+
+type entry = {
+  e_app : int;
+  mutable e_demand : demand;
+  mutable e_env_set_t : Time.t; (* when the envelope started *)
+  mutable e_env_base_j : float; (* app's attributed joules at that point *)
+  mutable e_throttle : float; (* multiplicative actuation level, floor..1 *)
+  mutable e_prev_j : float; (* attributed joules at last control tick *)
+  e_ring : float array; (* per-period joules, circular *)
+  mutable e_ring_i : int;
+  mutable e_ring_n : int;
+  mutable e_history : (Time.t * float * float) list;
+      (* (tick time, windowed mean W, effective cap W), newest first *)
+}
+
+type t = {
+  sys : System.t;
+  period : Time.span;
+  window_periods : int;
+  hysteresis : float;
+  dvfs_bias : bool;
+  entries : (int, entry) Hashtbl.t;
+  splitters : Split.live list; (* one per actuated rail, auto-wired *)
+  mutable tick : Sim.periodic option;
+  mutable stopped : bool;
+  (* admission *)
+  mutable machine_budget_w : float option;
+  reserved : (int, float) Hashtbl.t; (* app -> reserved watts *)
+  wait_q : (int * float * (unit -> unit)) Queue.t; (* FIFO, head next *)
+}
+
+let sim ctl = System.sim ctl.sys
+let now ctl = Sim.now (sim ctl)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement: per-app attributed draw, summed over the machine's
+   actuated rails via the auto-wired live splitters.                    *)
+
+let app_total_j ctl ~app =
+  let until = now ctl in
+  List.fold_left
+    (fun acc lv ->
+      match List.assoc_opt app (Split.live_read lv ~until) with
+      | Some j -> acc +. j
+      | None -> acc)
+    0.0 ctl.splitters
+
+let windowed_mean_w ctl e =
+  let n = e.e_ring_n in
+  if n = 0 then 0.0
+  else begin
+    let j = ref 0.0 in
+    for i = 0 to n - 1 do
+      j := !j +. e.e_ring.(i)
+    done;
+    !j /. (float_of_int n *. Time.to_sec_f ctl.period)
+  end
+
+let effective_cap_of ctl e =
+  match e.e_demand with
+  | Cap w -> w
+  | Envelope { joules; horizon } ->
+      let used = app_total_j ctl ~app:e.e_app -. e.e_env_base_j in
+      let left_j = Float.max 0.0 (joules -. used) in
+      let left_s =
+        Time.to_sec_f (e.e_env_set_t + horizon - now ctl)
+      in
+      if left_s <= 0.0 then 0.0 else left_j /. left_s
+
+(* ------------------------------------------------------------------ *)
+(* Actuation: one throttle level per app, mapped onto every subsystem's
+   knob. At 1.0 all knobs are released, so an un-throttled machine runs
+   the exact event sequence it would without a controller.              *)
+
+let actuate ctl e =
+  let t_ = e.e_throttle in
+  let full = t_ >= 0.999 in
+  let smp = System.smp ctl.sys in
+  Smp.set_quota smp ~app:e.e_app
+    (if full then None
+     else Some (t_ *. float_of_int (Smp.cores smp)));
+  let accel_rate d =
+    let units = Psbox_hw.Accel.units (Accel_driver.device d) in
+    if full then Accel_driver.set_rate d ~app:e.e_app None
+    else Accel_driver.set_rate d ~app:e.e_app (Some (t_ *. float_of_int units))
+  in
+  if System.has_gpu ctl.sys then accel_rate (System.gpu ctl.sys);
+  if System.has_dsp ctl.sys then accel_rate (System.dsp ctl.sys);
+  if System.has_wifi ctl.sys then begin
+    let net = System.net ctl.sys in
+    if full then Net_sched.set_rate net ~app:e.e_app None
+    else
+      Net_sched.set_rate net ~app:e.e_app
+        (Some (t_ *. Psbox_hw.Wifi.rate_bps (Net_sched.nic net) /. 8.0))
+  end
+
+let release_actuation ctl app =
+  let smp = System.smp ctl.sys in
+  Smp.set_quota smp ~app None;
+  if System.has_gpu ctl.sys then
+    Accel_driver.set_rate (System.gpu ctl.sys) ~app None;
+  if System.has_dsp ctl.sys then
+    Accel_driver.set_rate (System.dsp ctl.sys) ~app None;
+  if System.has_wifi ctl.sys then
+    Net_sched.set_rate (System.net ctl.sys) ~app None
+
+(* ------------------------------------------------------------------ *)
+(* Control loop                                                         *)
+
+let control_entry ctl e =
+  (* settle this period's attributed energy into the window *)
+  let total = app_total_j ctl ~app:e.e_app in
+  let period_j = Float.max 0.0 (total -. e.e_prev_j) in
+  e.e_prev_j <- total;
+  e.e_ring.(e.e_ring_i) <- period_j;
+  e.e_ring_i <- (e.e_ring_i + 1) mod Array.length e.e_ring;
+  if e.e_ring_n < Array.length e.e_ring then e.e_ring_n <- e.e_ring_n + 1;
+  let meas = windowed_mean_w ctl e in
+  let cap = effective_cap_of ctl e in
+  e.e_history <- (now ctl, meas, cap) :: e.e_history;
+  (* multiplicative-proportional law with a deadband, steered by the
+     {e last period's} draw (the windowed mean above is what we report and
+     judge convergence on, but steering on it adds 'window' periods of
+     lag and turns the loop into a limit cycle): over the cap, scale the
+     throttle down by the overshoot ratio (at most halving per period);
+     under it, relax back up by the same ratio (at most 10% per period).
+     Inside the hysteresis band the throttle holds. *)
+  let meas_p = period_j /. Time.to_sec_f ctl.period in
+  let over = cap *. (1.0 +. ctl.hysteresis) in
+  let under = cap *. (1.0 -. ctl.hysteresis) in
+  let t0 = e.e_throttle in
+  if meas_p > over && meas_p > 0.0 then
+    e.e_throttle <-
+      Float.max throttle_floor (t0 *. Float.max 0.5 (cap /. meas_p))
+  else if meas_p < under && t0 < 1.0 then
+    e.e_throttle <-
+      Float.min 1.0 (t0 *. Float.min 1.1 (cap /. Float.max meas_p 1e-9));
+  if e.e_throttle <> t0 then actuate ctl e
+
+let bias_dvfs ctl =
+  if ctl.dvfs_bias then begin
+    let dvfs = Psbox_hw.Cpu.dvfs (System.cpu ctl.sys) in
+    (* lower the machine's OPP ceiling only when per-app throttling has hit
+       its floor and an app still overshoots — i.e. the shared uncore draw
+       itself is the problem; creep back up while everyone fits *)
+    let stuck_over = ref false and all_within = ref true in
+    Hashtbl.iter
+      (fun _ e ->
+        let meas = windowed_mean_w ctl e in
+        let cap = effective_cap_of ctl e in
+        if meas > cap *. (1.0 +. ctl.hysteresis) then begin
+          all_within := false;
+          if e.e_throttle <= throttle_floor +. 1e-9 then stuck_over := true
+        end)
+      ctl.entries;
+    let c = Psbox_hw.Dvfs.ceiling dvfs in
+    if !stuck_over && c > 0 then Psbox_hw.Dvfs.set_ceiling dvfs (c - 1)
+    else if !all_within && c < Psbox_hw.Dvfs.max_index dvfs then
+      Psbox_hw.Dvfs.set_ceiling dvfs (c + 1)
+  end
+
+let control_tick ctl () =
+  if not ctl.stopped then begin
+    Hashtbl.iter (fun _ e -> control_entry ctl e) ctl.entries;
+    bias_dvfs ctl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+
+let create sys ?(period = Time.ms 50) ?(window_periods = 4)
+    ?(hysteresis = 0.05) ?(dvfs_bias = false) ?machine_budget_w () =
+  if window_periods <= 0 then
+    invalid_arg "Budget.create: window_periods must be positive";
+  if hysteresis < 0.0 then invalid_arg "Budget.create: negative hysteresis";
+  let from = Sim.now (System.sim sys) in
+  let splitters =
+    [ Split.live_cpu (System.smp sys) ~from ]
+    @ (if System.has_gpu sys then [ Split.live_accel (System.gpu sys) ~from ]
+       else [])
+    @ (if System.has_dsp sys then [ Split.live_accel (System.dsp sys) ~from ]
+       else [])
+    @
+    if System.has_wifi sys then [ Split.live_net (System.net sys) ~from ]
+    else []
+  in
+  let ctl =
+    {
+      sys;
+      period;
+      window_periods;
+      hysteresis;
+      dvfs_bias;
+      entries = Hashtbl.create 8;
+      splitters;
+      tick = None;
+      stopped = false;
+      machine_budget_w;
+      reserved = Hashtbl.create 8;
+      wait_q = Queue.create ();
+    }
+  in
+  ctl.tick <-
+    Some (Sim.schedule_every (System.sim sys) period (control_tick ctl));
+  ctl
+
+let period ctl = ctl.period
+
+let entry ctl app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          e_app = app;
+          e_demand = Cap infinity;
+          e_env_set_t = now ctl;
+          e_env_base_j = 0.0;
+          e_throttle = 1.0;
+          e_prev_j = app_total_j ctl ~app;
+          e_ring = Array.make ctl.window_periods 0.0;
+          e_ring_i = 0;
+          e_ring_n = 0;
+          e_history = [];
+        }
+      in
+      Hashtbl.replace ctl.entries app e;
+      e
+
+let set_cap ctl ~app ~watts =
+  if watts < 0.0 then invalid_arg "Budget.set_cap: negative cap";
+  let e = entry ctl app in
+  e.e_demand <- Cap watts
+
+let set_envelope ctl ~app ~joules ~horizon =
+  if joules < 0.0 then invalid_arg "Budget.set_envelope: negative joules";
+  if horizon <= 0 then invalid_arg "Budget.set_envelope: empty horizon";
+  let e = entry ctl app in
+  e.e_demand <- Envelope { joules; horizon };
+  e.e_env_set_t <- now ctl;
+  e.e_env_base_j <- app_total_j ctl ~app
+
+let clear ctl ~app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some _ ->
+      Hashtbl.remove ctl.entries app;
+      release_actuation ctl app
+  | None -> ()
+
+let measured_w ctl ~app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some e -> windowed_mean_w ctl e
+  | None -> 0.0
+
+let effective_cap_w ctl ~app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some e -> effective_cap_of ctl e
+  | None -> infinity
+
+let throttle ctl ~app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some e -> e.e_throttle
+  | None -> 1.0
+
+let history ctl ~app =
+  match Hashtbl.find_opt ctl.entries app with
+  | Some e -> List.rev e.e_history
+  | None -> []
+
+let stop ctl =
+  if not ctl.stopped then begin
+    ctl.stopped <- true;
+    (match ctl.tick with
+    | Some p ->
+        Sim.cancel_every p;
+        ctl.tick <- None
+    | None -> ());
+    Hashtbl.iter (fun app _ -> release_actuation ctl app) ctl.entries;
+    List.iter Split.live_detach ctl.splitters
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                    *)
+
+let reserved_w ctl =
+  Hashtbl.fold (fun _ w acc -> acc +. w) ctl.reserved 0.0
+
+let remaining_w ctl =
+  match ctl.machine_budget_w with
+  | None -> infinity
+  | Some b -> b -. reserved_w ctl
+
+let set_machine_budget ctl w =
+  (match w with
+  | Some b when b < 0.0 -> invalid_arg "Budget.set_machine_budget: negative"
+  | Some _ | None -> ());
+  ctl.machine_budget_w <- w
+
+let admitted ctl ~app = Hashtbl.mem ctl.reserved app
+let queued ctl = Queue.length ctl.wait_q
+
+let admit ctl ~app ~watts ?(on_admit = fun () -> ()) ?(queue = false) () =
+  if watts < 0.0 then invalid_arg "Budget.admit: negative demand";
+  if Hashtbl.mem ctl.reserved app then invalid_arg "Budget.admit: already admitted";
+  if watts <= remaining_w ctl then begin
+    Hashtbl.replace ctl.reserved app watts;
+    Admitted
+  end
+  else if queue then begin
+    Queue.push (app, watts, on_admit) ctl.wait_q;
+    Queued
+  end
+  else Rejected
+
+let release ctl ~app =
+  if Hashtbl.mem ctl.reserved app then begin
+    Hashtbl.remove ctl.reserved app;
+    (* head-first drain: strict FIFO, so a large waiter at the head blocks
+       smaller ones behind it (no sneak-past starvation of big requests) *)
+    let continue = ref true in
+    while !continue && not (Queue.is_empty ctl.wait_q) do
+      let w_app, w_watts, w_cb = Queue.peek ctl.wait_q in
+      if w_watts <= remaining_w ctl then begin
+        ignore (Queue.pop ctl.wait_q);
+        Hashtbl.replace ctl.reserved w_app w_watts;
+        w_cb ()
+      end
+      else continue := false
+    done
+  end

@@ -1,0 +1,202 @@
+open Psbox_engine
+module System = Psbox_kernel.System
+module W = Psbox_workloads.Workload
+module Budget = Psbox_budget.Budget
+
+type result = {
+  converge_err_pct : float;  (** |measured - cap| / cap at convergence *)
+  neighbor_delta_pct : float;  (** co-runner completion-time change *)
+  sweep : (float * float * float) list;  (** cap W, measured W, units/s *)
+}
+
+(* Two co-run tenants on a dual-core machine. Tenant A spins forever;
+   tenant B has a fixed amount of work so its completion time is the
+   isolation metric. The Performance governor keeps B's clock independent
+   of how hard A is throttled. *)
+let co_run ?cap ~seed () =
+  let sys =
+    System.create ~seed ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"tenant-a" in
+  let b = System.new_app sys ~name:"tenant-b" in
+  ignore
+    (W.spawn sys ~app:a ~name:"spin-a"
+       (W.forever (fun () -> [ W.Compute (Time.ms 2); W.Count ("units", 1.0) ])));
+  ignore
+    (W.spawn sys ~app:b ~name:"work-b"
+       (W.repeat 1500 (fun _ -> [ W.Compute (Time.ms 2); W.Count ("units", 1.0) ])));
+  System.start sys;
+  let ctl =
+    match cap with
+    | None -> None
+    | Some watts ->
+        let ctl = Budget.create sys () in
+        Budget.set_cap ctl ~app:a.System.app_id ~watts;
+        Some ctl
+  in
+  W.run_until_idle sys ~apps:[ b ] ~timeout:(Time.sec 20);
+  let done_t = Time.to_sec_f (System.now sys) in
+  let measured =
+    match ctl with
+    | Some c -> Budget.measured_w c ~app:a.System.app_id
+    | None -> 0.0
+  in
+  let hist =
+    match ctl with
+    | Some c -> Budget.history c ~app:a.System.app_id
+    | None -> []
+  in
+  Option.iter Budget.stop ctl;
+  System.shutdown sys;
+  (done_t, measured, hist)
+
+(* Cap sweep: same tenants, but B also spins forever; after a settling
+   second, measure A's draw and throughput over a 2 s window. *)
+let sweep_point ~seed cap =
+  let sys =
+    System.create ~seed ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"tenant-a" in
+  let b = System.new_app sys ~name:"tenant-b" in
+  let spin = W.forever (fun () -> [ W.Compute (Time.ms 2); W.Count ("units", 1.0) ]) in
+  ignore (W.spawn sys ~app:a ~name:"spin-a" spin);
+  ignore (W.spawn sys ~app:b ~name:"spin-b" spin);
+  System.start sys;
+  let ctl = Budget.create sys () in
+  (match cap with
+  | Some watts -> Budget.set_cap ctl ~app:a.System.app_id ~watts
+  | None -> ());
+  System.run_for sys (Time.sec 2);
+  let u0 = System.counter a "units" in
+  System.run_for sys (Time.sec 2);
+  let rate = (System.counter a "units" -. u0) /. 2.0 in
+  let measured = Budget.measured_w ctl ~app:a.System.app_id in
+  let thr = Budget.throttle ctl ~app:a.System.app_id in
+  Budget.stop ctl;
+  System.shutdown sys;
+  (measured, rate, thr)
+
+(* Admission control needs no simulation time: it is bookkeeping over
+   declared demand. *)
+let admission_demo () =
+  let sys = System.create () in
+  let ctl = Budget.create sys ~machine_budget_w:3.0 () in
+  let verdict = function
+    | Budget.Admitted -> "admitted"
+    | Budget.Queued -> "queued"
+    | Budget.Rejected -> "rejected"
+  in
+  let row name app watts queue =
+    let v = Budget.admit ctl ~app ~watts ~queue () in
+    [ name; Printf.sprintf "%.1f W" watts; verdict v ]
+  in
+  (* sequenced lets: list elements would be evaluated right-to-left *)
+  let ra = row "A" 1 2.0 false in
+  let rb = row "B" 2 0.9 false in
+  let rc = row "C" 3 1.5 true in
+  let rd = row "D" 4 0.2 true in
+  let re = row "E" 5 5.0 false in
+  let initial = [ ra; rb; rc; rd; re ] in
+  (* Releasing B frees 0.9 W -- not enough for C at the head, and D (which
+     would fit) must not sneak past it. Releasing A then drains both. *)
+  Budget.release ctl ~app:2;
+  let after_b = (Budget.admitted ctl ~app:3, Budget.admitted ctl ~app:4) in
+  Budget.release ctl ~app:1;
+  let after_a = (Budget.admitted ctl ~app:3, Budget.admitted ctl ~app:4) in
+  Budget.stop ctl;
+  System.shutdown sys;
+  (initial, after_b, after_a)
+
+let run ?(seed = 17) () =
+  let cap = 0.9 in
+  let t_base, _, _ = co_run ~seed () in
+  let t_capped, measured, hist = co_run ~cap ~seed () in
+  let converge_err_pct = Float.abs (measured -. cap) /. cap *. 100.0 in
+  let neighbor_delta_pct = Common.pct t_base t_capped in
+  let caps = [ None; Some 1.4; Some 1.0; Some 0.6; Some 0.02 ] in
+  let sweep_rows =
+    List.map
+      (fun c ->
+        let m, r, thr = sweep_point ~seed c in
+        (c, m, r, thr))
+      caps
+  in
+  let sweep =
+    List.filter_map
+      (function Some c, m, r, _ -> Some (c, m, r) | None, _, _, _ -> None)
+      sweep_rows
+  in
+  let initial, (c_after_b, d_after_b), (c_after_a, d_after_a) =
+    admission_demo ()
+  in
+  let result = { converge_err_pct; neighbor_delta_pct; sweep } in
+  let trace =
+    let pts f = List.map (fun (t, m, c) -> (Time.to_sec_f t, f m c)) hist in
+    [
+      { Report.s_name = "tenant-a attributed"; s_points = pts (fun m _ -> m); s_unit = "W" };
+      { Report.s_name = "cap"; s_points = pts (fun _ c -> c); s_unit = "W" };
+    ]
+  in
+  let report =
+    {
+      Report.id = "budget";
+      title = "Power budgets: caps enforced through the kernel (Sec. 6 extension)";
+      items =
+        [
+          Report.table
+            ~headers:[ "metric"; "value" ]
+            [
+              [ "cap on tenant-a"; Printf.sprintf "%.2f W" cap ];
+              [ "converged windowed mean"; Printf.sprintf "%.3f W" measured ];
+              [ "convergence error"; Printf.sprintf "%.1f%%" converge_err_pct ];
+              [
+                "tenant-b completion (uncapped run)";
+                Printf.sprintf "%.3f s" t_base;
+              ];
+              [
+                "tenant-b completion (tenant-a capped)";
+                Printf.sprintf "%.3f s" t_capped;
+              ];
+              [ "neighbor impact"; Report.fmt_pct neighbor_delta_pct ];
+            ];
+          Report.chart ~label:"control-loop convergence" trace;
+          Report.table
+            ~headers:[ "cap"; "measured"; "throttle"; "throughput" ]
+            (List.map
+               (fun (c, m, r, thr) ->
+                 [
+                   (match c with
+                   | Some c -> Printf.sprintf "%.2f W" c
+                   | None -> "none");
+                   Printf.sprintf "%.3f W" m;
+                   Printf.sprintf "%.2f" thr;
+                   Printf.sprintf "%.0f units/s" r;
+                 ])
+               sweep_rows);
+          Report.table
+            ~headers:[ "request"; "declared"; "verdict (3.0 W machine budget)" ]
+            initial;
+          Report.table
+            ~headers:[ "event"; "C (1.5 W, head)"; "D (0.2 W, behind C)" ]
+            [
+              [
+                "release B (0.9 W free)";
+                (if c_after_b then "admitted" else "still queued");
+                (if d_after_b then "admitted" else "still queued");
+              ];
+              [
+                "release A (2.9 W free)";
+                (if c_after_a then "admitted" else "still queued");
+                (if d_after_a then "admitted" else "still queued");
+              ];
+            ];
+          Report.Text
+            "The controller squeezes only the capped tenant: its windowed \
+             mean settles onto the cap while the co-runner's completion \
+             time is unchanged. Infeasible caps pin the throttle at its \
+             floor instead of starving the app, and the admission queue \
+             drains strictly head-first.";
+        ];
+    }
+  in
+  (report, result)

@@ -1,0 +1,13 @@
+(** Power-budget enforcement: convergence, isolation, graceful degradation
+    and admission control for {!Psbox_budget.Budget} (a §6 extension — the
+    control plane the paper's trustworthy accounting makes possible). *)
+
+type result = {
+  converge_err_pct : float;
+      (** capped tenant's windowed mean vs its cap, percent *)
+  neighbor_delta_pct : float;
+      (** uncapped co-runner's completion-time change, percent *)
+  sweep : (float * float * float) list;  (** cap W, measured W, units/s *)
+}
+
+val run : ?seed:int -> unit -> Report.t * result

@@ -66,6 +66,11 @@ let all =
       e_title = "Ablations of the psbox design choices";
       e_run = (fun () -> fst (Ablation.run ()));
     };
+    {
+      e_id = "budget";
+      e_title = "Power budgets enforced through the kernel";
+      e_run = (fun () -> fst (Budget_exp.run ()));
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.e_id = id) all

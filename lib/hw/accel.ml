@@ -156,7 +156,7 @@ and arm_autosuspend dev =
                  update_power dev
                end))
 
-let create sim ~name ~units ?(opps = default_opps)
+let create sim ?retention ~name ~units ?(opps = default_opps)
     ?(governor = Dvfs.Ondemand { up_threshold = 0.6; sampling = Time.ms 20 })
     ?(idle_w = 0.1) ?(suspend_w = 0.01) ?autosuspend
     ?(resume_delay = Time.ms 5) () =
@@ -166,7 +166,7 @@ let create sim ~name ~units ?(opps = default_opps)
       sim;
       name;
       units;
-      rail = Power_rail.create sim ~name ~idle_w;
+      rail = Power_rail.create ?retention sim ~name ~idle_w;
       dvfs = None;
       factor = 1.0;
       waiting = [];

@@ -34,6 +34,7 @@ type t
 
 val create :
   Psbox_engine.Sim.t ->
+  ?retention:Psbox_engine.Time.span ->
   name:string ->
   units:int ->
   ?opps:Dvfs.opp array ->
@@ -45,7 +46,8 @@ val create :
   unit ->
   t
 (** Defaults: a 4-OPP table, ondemand governor (20 ms sampling), 0.1 W idle.
-    Autosuspend is disabled unless a span is given. *)
+    Autosuspend is disabled unless a span is given. [retention] bounds the
+    rail's power history (see {!Power_rail.create}). *)
 
 val name : t -> string
 val rail : t -> Power_rail.t

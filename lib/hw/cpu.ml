@@ -59,7 +59,7 @@ let total_active_time cpu =
   let now = Sim.now cpu.sim in
   cpu.active_accum + (if busy_cores cpu > 0 then now - cpu.active_since else 0)
 
-let create sim ?(name = "cpu") ?(opps = default_opps)
+let create sim ?retention ?(name = "cpu") ?(opps = default_opps)
     ?(governor = Dvfs.Ondemand { up_threshold = 0.7; sampling = Time.ms 50 })
     ?(idle_w = 0.3) ~cores () =
   if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
@@ -74,7 +74,7 @@ let create sim ?(name = "cpu") ?(opps = default_opps)
       active_since = Time.zero;
       util_mark = Sim.now sim;
       util_mark_accum = 0;
-      rail = Power_rail.create sim ~name ~idle_w;
+      rail = Power_rail.create ?retention sim ~name ~idle_w;
       dvfs = None;
     }
   in

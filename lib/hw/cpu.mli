@@ -15,6 +15,7 @@ val default_opps : Dvfs.opp array
 
 val create :
   Psbox_engine.Sim.t ->
+  ?retention:Psbox_engine.Time.span ->
   ?name:string ->
   ?opps:Dvfs.opp array ->
   ?governor:Dvfs.governor ->
@@ -23,7 +24,8 @@ val create :
   unit ->
   t
 (** Default governor is ondemand with an 80% up-threshold and 50 ms sampling
-    period; default idle draw 0.3 W. *)
+    period; default idle draw 0.3 W. [retention] bounds the rail's power
+    history (see {!Power_rail.create}). *)
 
 val cores : t -> int
 val rail : t -> Power_rail.t

@@ -5,6 +5,7 @@ type surface = { pixels : int; luminance : float }
 type t = {
   sim : Sim.t;
   name : string;
+  retention : Time.span option;
   width : int;
   height : int;
   base_w : float;
@@ -12,20 +13,23 @@ type t = {
   rail : Power_rail.t;
   surfaces : (int, surface) Hashtbl.t;
   app_rails : (int, Power_rail.t) Hashtbl.t;
+  mutable on_app_rail : Power_rail.t -> unit;
 }
 
-let create sim ?(name = "display") ?(width = 1920) ?(height = 1080)
+let create sim ?retention ?(name = "display") ?(width = 1920) ?(height = 1080)
     ?(base_w = 0.25) ?(w_per_mnit_pixel = 0.35) () =
   {
     sim;
     name;
+    retention;
     width;
     height;
     base_w;
     w_per_mnit_pixel;
-    rail = Power_rail.create sim ~name ~idle_w:0.0;
+    rail = Power_rail.create ?retention sim ~name ~idle_w:0.0;
     surfaces = Hashtbl.create 8;
     app_rails = Hashtbl.create 8;
+    on_app_rail = (fun _ -> ());
   }
 
 let rail d = d.rail
@@ -41,12 +45,17 @@ let app_rail d ~app =
   | Some r -> r
   | None ->
       let r =
-        Power_rail.create d.sim
+        Power_rail.create ?retention:d.retention d.sim
           ~name:(Printf.sprintf "%s.app%d" d.name app)
           ~idle_w:0.0
       in
       Hashtbl.add d.app_rails app r;
+      d.on_app_rail r;
       r
+
+let set_on_app_rail d f =
+  d.on_app_rail <- f;
+  Hashtbl.iter (fun _ r -> f r) d.app_rails
 
 (* Recompute the panel rail and every app rail: each pixel contributes
    independently, so attribution is exact. *)

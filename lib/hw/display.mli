@@ -15,6 +15,7 @@ type t
 
 val create :
   Psbox_engine.Sim.t ->
+  ?retention:Psbox_engine.Time.span ->
   ?name:string ->
   ?width:int ->
   ?height:int ->
@@ -23,7 +24,9 @@ val create :
   unit ->
   t
 (** Defaults: 1920x1080, 0.25 W panel base, 0.35 W per megapixel at full
-    luminance. The panel starts off (0 W). *)
+    luminance. The panel starts off (0 W). [retention] bounds the power
+    history of the panel rail and every per-app rail (see
+    {!Power_rail.create}). *)
 
 val rail : t -> Power_rail.t
 (** The physical panel rail (all apps' surfaces combined). *)
@@ -47,3 +50,9 @@ val app_rail : t -> app:int -> Power_rail.t
     use. *)
 
 val app_power_w : t -> app:int -> float
+
+val set_on_app_rail : t -> (Power_rail.t -> unit) -> unit
+(** Install a hook fired for every lazily-created per-app rail, so machine
+    composition can forward attribution rails created after boot onto the
+    machine bus. Rails that already exist are passed to the hook
+    immediately; only one hook is kept. *)

@@ -16,13 +16,14 @@ type t = {
   get_util : unit -> float;
   changes : change Bus.t;
   mutable index : int;
+  mutable ceiling : int;
   mutable tick : Sim.periodic option;
   mutable stopped : bool;
   mutable frozen : bool;
 }
 
 let set_index d i =
-  let i = max 0 (min i (Array.length d.opps - 1)) in
+  let i = max 0 (min i (min d.ceiling (Array.length d.opps - 1))) in
   if i <> d.index then begin
     let before = d.index in
     d.index <- i;
@@ -43,7 +44,8 @@ let create sim ~opps ~governor ~get_util =
   if Array.length opps = 0 then invalid_arg "Dvfs.create: no OPPs";
   let index = match governor with Performance -> Array.length opps - 1 | Ondemand _ | Userspace -> 0 in
   let d =
-    { sim; opps; governor; get_util; changes = Bus.create (); index; tick = None;
+    { sim; opps; governor; get_util; changes = Bus.create (); index;
+      ceiling = Array.length opps - 1; tick = None;
       stopped = false; frozen = false }
   in
   (match governor with
@@ -58,6 +60,13 @@ let opps d = d.opps
 let set_opp d i = set_index d i
 let max_index d = Array.length d.opps - 1
 let changes d = d.changes
+
+let ceiling d = d.ceiling
+
+let set_ceiling d i =
+  let i = max 0 (min i (Array.length d.opps - 1)) in
+  d.ceiling <- i;
+  if d.index > i then set_index d i
 
 let freeze d = d.frozen <- true
 let thaw d = d.frozen <- false

@@ -61,6 +61,14 @@ val set_opp : t -> int -> unit
 
 val max_index : t -> int
 
+val set_ceiling : t -> int -> unit
+(** Clamp the reachable OPP range to [0..i] (power-budget bias): the
+    governor's top jump and {!set_opp} both saturate at the ceiling, and a
+    current OPP above it is stepped down immediately. Defaults to
+    {!max_index}, which changes nothing. *)
+
+val ceiling : t -> int
+
 val freeze : t -> unit
 (** Suspend the governor's own decisions (e.g. while a psbox balloon holds
     the device and drives a private frequency trajectory). {!set_opp} still

@@ -5,6 +5,7 @@ type state = Off | Acquiring | Tracking
 type t = {
   sim : Sim.t;
   name : string;
+  retention : Time.span option;
   cold_start : Time.span;
   acquire_w : float;
   track_w : float;
@@ -14,22 +15,25 @@ type t = {
   mutable fix_timer : Sim.handle option;
   subs : (int, unit) Hashtbl.t;
   app_rails : (int, Power_rail.t) Hashtbl.t;
+  mutable on_app_rail : Power_rail.t -> unit;
 }
 
-let create sim ?(name = "gps") ?(cold_start = Time.sec 8) ?(acquire_w = 0.18)
-    ?(track_w = 0.09) ?(off_w = 0.002) () =
+let create sim ?retention ?(name = "gps") ?(cold_start = Time.sec 8)
+    ?(acquire_w = 0.18) ?(track_w = 0.09) ?(off_w = 0.002) () =
   {
     sim;
     name;
+    retention;
     cold_start;
     acquire_w;
     track_w;
     off_w;
-    rail = Power_rail.create sim ~name ~idle_w:off_w;
+    rail = Power_rail.create ?retention sim ~name ~idle_w:off_w;
     st = Off;
     fix_timer = None;
     subs = Hashtbl.create 4;
     app_rails = Hashtbl.create 4;
+    on_app_rail = (fun _ -> ());
   }
 
 let rail g = g.rail
@@ -46,12 +50,17 @@ let app_rail g ~app =
   | Some r -> r
   | None ->
       let r =
-        Power_rail.create g.sim
+        Power_rail.create ?retention:g.retention g.sim
           ~name:(Printf.sprintf "%s.app%d" g.name app)
           ~idle_w:g.off_w
       in
       Hashtbl.add g.app_rails app r;
+      g.on_app_rail r;
       r
+
+let set_on_app_rail g f =
+  g.on_app_rail <- f;
+  Hashtbl.iter (fun _ r -> f r) g.app_rails
 
 let update g =
   Power_rail.set_power g.rail (device_w g);

@@ -17,6 +17,7 @@ type t
 
 val create :
   Psbox_engine.Sim.t ->
+  ?retention:Psbox_engine.Time.span ->
   ?name:string ->
   ?cold_start:Psbox_engine.Time.span ->
   ?acquire_w:float ->
@@ -24,7 +25,9 @@ val create :
   ?off_w:float ->
   unit ->
   t
-(** Defaults: 8 s cold start at 0.18 W, 0.09 W tracking, 2 mW off. *)
+(** Defaults: 8 s cold start at 0.18 W, 0.09 W tracking, 2 mW off.
+    [retention] bounds the power history of the device rail and every
+    per-app rail (see {!Power_rail.create}). *)
 
 val rail : t -> Power_rail.t
 val state : t -> state
@@ -42,5 +45,11 @@ val subscribers : t -> int
 val app_rail : t -> app:int -> Power_rail.t
 (** The per-app view a psbox exposes: the device's power while this app is
     subscribed, [off_w] otherwise — other apps' fixes never show. *)
+
+val set_on_app_rail : t -> (Power_rail.t -> unit) -> unit
+(** Install a hook fired for every lazily-created per-app rail, so machine
+    composition can forward attribution rails created after boot onto the
+    machine bus. Rails that already exist are passed to the hook
+    immediately; only one hook is kept. *)
 
 val has_fix : t -> bool

@@ -146,15 +146,15 @@ let rec send_next nic =
                nic.on_sent p;
                send_next nic))
 
-let create sim ?(name = "wifi") ?(rate_mbps = 40.0) ?(overhead = Time.us 200)
-    ?(tail = Time.ms 80) ?(ps_w = 0.03) ?(awake_w = 0.25)
-    ?(tx_levels = [| 0.5; 0.7; 0.9 |]) ?(rx_w = 0.45) ?(virtual_macs = false)
-    ?(reassoc_delay = Time.ms 150) () =
+let create sim ?retention ?(name = "wifi") ?(rate_mbps = 40.0)
+    ?(overhead = Time.us 200) ?(tail = Time.ms 80) ?(ps_w = 0.03)
+    ?(awake_w = 0.25) ?(tx_levels = [| 0.5; 0.7; 0.9 |]) ?(rx_w = 0.45)
+    ?(virtual_macs = false) ?(reassoc_delay = Time.ms 150) () =
   if Array.length tx_levels = 0 then invalid_arg "Wifi.create: no TX levels";
   let nic =
     {
       sim;
-      rail = Power_rail.create sim ~name ~idle_w:ps_w;
+      rail = Power_rail.create ?retention sim ~name ~idle_w:ps_w;
       rate_bps = rate_mbps *. 1e6;
       overhead;
       tail;

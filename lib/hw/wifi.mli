@@ -35,6 +35,7 @@ type t
 
 val create :
   Psbox_engine.Sim.t ->
+  ?retention:Psbox_engine.Time.span ->
   ?name:string ->
   ?rate_mbps:float ->
   ?overhead:Psbox_engine.Time.span ->

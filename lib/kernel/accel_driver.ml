@@ -11,6 +11,12 @@ type pending = {
   p_enqueued : Time.t;
 }
 
+type share_change = { at : Time.t; app : int; share : float }
+
+(* Leaky-bucket rate gate: [g_next] is the earliest instant the app may
+   dispatch again; each dispatch pushes it out by cost/rate. *)
+type gate = { mutable g_rate : float; mutable g_next : Time.t }
+
 type t = {
   sim : Sim.t;
   dev : Accel.t;
@@ -39,6 +45,10 @@ type t = {
   mutable blocked_submitters : (unit -> unit) list;
       (* SGX-style [Lock_requests] stacks: submissions that arrived while a
          foreign balloon held the queue, to be accepted at flush-others *)
+  share_bus : share_change Bus.t;
+  gates : (int, gate) Hashtbl.t;
+  mutable gate_pump : (Time.t * Sim.handle) option;
+      (* pending wakeup for the earliest gated backlogged app *)
 }
 
 let device d = d.dev
@@ -95,9 +105,37 @@ let pick_rr d apps =
       Some app
   | None -> None
 
+let eligible d app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g -> g.g_next <= Sim.now d.sim
+  | None -> true
+
+let charge_gate d app cmd =
+  match Hashtbl.find_opt d.gates app with
+  | Some g ->
+      let cost = cmd.Accel.work_s *. float_of_int cmd.Accel.units in
+      let now = Sim.now d.sim in
+      let base = if g.g_next > now then g.g_next else now in
+      g.g_next <- base + Time.of_sec_f (cost /. g.g_rate)
+  | None -> ()
+
+(* Rate-gated apps sit out the pick until their gate reopens; the sandboxed
+   app is exempt (balloons are psbox's own enforcement path). *)
 let pick_app d =
-  let apps = backlogged d in
+  let apps =
+    List.filter
+      (fun a -> d.sandboxed = Some a || eligible d a)
+      (backlogged d)
+  in
   match d.policy with Fair -> pick_fair d apps | Round_robin -> pick_rr d apps
+
+let publish_share d app =
+  Bus.publish d.share_bus
+    {
+      at = Sim.now d.sim;
+      app;
+      share = float_of_int (Accel.in_flight_of d.dev ~app);
+    }
 
 (* Effective credit of the sandboxed app while a balloon is open: its billed
    vruntime plus the whole-device time accrued so far this serve window. *)
@@ -152,7 +190,9 @@ let dispatch d app =
   let lat = Time.to_us_f (Sim.now d.sim - p.p_enqueued) in
   d.latencies <- (app, lat) :: d.latencies;
   Hashtbl.replace d.callbacks p.p_cmd.Accel.id p;
-  Accel.submit d.dev p.p_cmd
+  charge_gate d app p.p_cmd;
+  Accel.submit d.dev p.p_cmd;
+  publish_share d app
 
 let rec pump d =
   match d.phase with
@@ -185,8 +225,45 @@ let rec pump d =
         | Some app ->
             dispatch d app;
             pump d
-        | None -> ()
+        | None -> arm_gate_pump d
       end
+
+(* Nothing is dispatchable right now, but a gated backlogged app may become
+   eligible later: keep exactly one wakeup armed at the earliest gate
+   reopening, else a rate-capped app whose co-runners go quiet would stall
+   until the next unrelated driver event. *)
+and arm_gate_pump d =
+  let next =
+    List.fold_left
+      (fun acc app ->
+        match Hashtbl.find_opt d.gates app with
+        | Some g when g.g_next > Sim.now d.sim -> (
+            match acc with
+            | Some t when t <= g.g_next -> acc
+            | Some _ | None -> Some g.g_next)
+        | Some _ | None -> acc)
+      None (backlogged d)
+  in
+  match next with
+  | None -> ()
+  | Some t -> (
+      match d.gate_pump with
+      | Some (at, _) when at <= t -> ()
+      | Some (_, h) ->
+          Sim.cancel h;
+          d.gate_pump <-
+            Some
+              ( t,
+                Sim.schedule_at d.sim t (fun () ->
+                    d.gate_pump <- None;
+                    pump d) )
+      | None ->
+          d.gate_pump <-
+            Some
+              ( t,
+                Sim.schedule_at d.sim t (fun () ->
+                    d.gate_pump <- None;
+                    pump d) ))
 
 and check_drain d =
   match d.phase with
@@ -232,6 +309,7 @@ and exit_serve d =
   pump d
 
 let on_device_complete d cmd =
+  publish_share d cmd.Accel.app;
   (match Hashtbl.find_opt d.callbacks cmd.Accel.id with
   | Some p ->
       Hashtbl.remove d.callbacks cmd.Accel.id;
@@ -288,10 +366,35 @@ let create sim dev ?(policy = Fair) ?(buffering = Per_process_queues)
       latencies = [];
       log = [];
       blocked_submitters = [];
+      share_bus = Bus.create ();
+      gates = Hashtbl.create 4;
+      gate_pump = None;
     }
   in
   Accel.set_on_complete dev (fun cmd -> on_device_complete d cmd);
   d
+
+let share_bus d = d.share_bus
+
+let set_rate d ~app limit =
+  (match limit with
+  | None -> Hashtbl.remove d.gates app
+  | Some r ->
+      let r = Float.max r 1e-9 in
+      (match Hashtbl.find_opt d.gates app with
+      | Some g -> g.g_rate <- r
+      | None -> Hashtbl.add d.gates app { g_rate = r; g_next = Time.zero }));
+  pump d
+
+let rate d ~app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g -> Some g.g_rate
+  | None -> None
+
+let gated_until d ~app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g when g.g_next > Sim.now d.sim -> Some g.g_next
+  | Some _ | None -> None
 
 (* Whether a submission from [app] would block in the driver right now:
    with SGX-style syscall-context dispatch ([Lock_requests]), a foreign

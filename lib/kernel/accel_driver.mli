@@ -77,6 +77,37 @@ val completed : t -> app:int -> int
 val vruntime : t -> app:int -> float
 (** Virtual device runtime (unit-seconds) billed to an app so far. *)
 
+(** {1 Per-app rate gates (power-budget actuation)}
+
+    A leaky-bucket limiter on command dispatch: an app with a rate of [r]
+    may put at most [r] device unit-seconds of work on the device per
+    second, averaged at command granularity. Gated apps keep their queue
+    ordering and fair-queueing credit; they simply sit out the pick until
+    the gate reopens (a dedicated wakeup re-pumps the driver, so a gated
+    app never stalls waiting for unrelated traffic). The sandboxed app is
+    exempt — balloons are psbox's own enforcement path. *)
+
+val set_rate : t -> app:int -> float option -> unit
+(** [set_rate d ~app (Some r)] caps dispatch at [r] unit-seconds per
+    second (clamped to a tiny positive floor); [None] removes the gate.
+    Takes effect on the next dispatch decision. *)
+
+val rate : t -> app:int -> float option
+
+val gated_until : t -> app:int -> Psbox_engine.Time.t option
+(** When the app's gate reopens, if it is currently closed. *)
+
+(** {1 Share bus (live attribution)} *)
+
+type share_change = { at : Psbox_engine.Time.t; app : int; share : float }
+(** The app's in-flight command count on the device changed; [share] is
+    the new count. *)
+
+val share_bus : t -> share_change Psbox_engine.Bus.t
+(** Published at every dispatch and completion, so
+    {!Psbox_accounting.Split.live_accel} can attribute device power without
+    manual share pushes. *)
+
 (** {1 Temporal balloons} *)
 
 val sandbox : t -> app:int -> unit

@@ -9,6 +9,12 @@ type pending = {
   p_enqueued : Time.t;
 }
 
+type share_change = { at : Time.t; app : int; share : float }
+
+(* Leaky-bucket rate gate in bytes/s: [g_next] is the earliest instant the
+   app may put another frame on the air. *)
+type gate = { mutable g_rate : float; mutable g_next : Time.t }
+
 type t = {
   sim : Sim.t;
   nic : Wifi.t;
@@ -31,6 +37,9 @@ type t = {
   mutable rx_held : pending list; (* deferred foreign RX, oldest last *)
   mutable latencies : (int * float) list;
   mutable pkt_log : Wifi.pkt list; (* completed frames, newest first *)
+  share_bus : share_change Bus.t;
+  gates : (int, gate) Hashtbl.t;
+  mutable gate_pump : (Time.t * Sim.handle) option;
 }
 
 let nic d = d.nic
@@ -60,14 +69,40 @@ let sent_bytes d ~app =
 let backlogged d =
   Hashtbl.fold (fun app q acc -> if Queue.is_empty q then acc else app :: acc) d.queues []
 
+let eligible d app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g -> g.g_next <= Sim.now d.sim
+  | None -> true
+
+let charge_gate d app (pkt : Wifi.pkt) =
+  match Hashtbl.find_opt d.gates app with
+  | Some g when pkt.Wifi.dir = `Tx ->
+      let now = Sim.now d.sim in
+      let base = if g.g_next > now then g.g_next else now in
+      g.g_next <- base + Time.of_sec_f (float_of_int pkt.Wifi.bytes /. g.g_rate)
+  | Some _ | None -> ()
+
+(* Rate-gated apps keep their queue and credit but sit out the pick until
+   the gate reopens; the sandboxed app is exempt (balloons are psbox's own
+   enforcement path). *)
 let pick_app d =
-  match backlogged d with
+  match
+    List.filter (fun a -> d.sandboxed = Some a || eligible d a) (backlogged d)
+  with
   | [] -> None
   | apps ->
       Some
         (List.fold_left
            (fun best app -> if credit_of d app < credit_of d best then app else best)
            (List.hd apps) (List.tl apps))
+
+let publish_share d app =
+  Bus.publish d.share_bus
+    {
+      at = Sim.now d.sim;
+      app;
+      share = float_of_int (Wifi.in_flight_of d.nic ~app);
+    }
 
 let should_yield d app =
   let others = List.filter (fun a -> a <> app) (backlogged d) in
@@ -107,7 +142,9 @@ let dispatch d app =
   let lat = Time.to_us_f (Sim.now d.sim - p.p_enqueued) in
   d.latencies <- (app, lat) :: d.latencies;
   Hashtbl.replace d.callbacks p.p_pkt.Wifi.id p;
-  Wifi.transmit d.nic p.p_pkt
+  charge_gate d app p.p_pkt;
+  Wifi.transmit d.nic p.p_pkt;
+  publish_share d app
 
 let rec pump d =
   match d.phase with
@@ -138,8 +175,41 @@ let rec pump d =
         | Some app ->
             dispatch d app;
             pump d
-        | None -> ()
+        | None -> arm_gate_pump d
       end
+
+(* Keep exactly one wakeup armed at the earliest gate reopening among
+   gated backlogged apps, so a rate-capped app with quiet co-runners does
+   not stall until the next unrelated NIC event. *)
+and arm_gate_pump d =
+  let next =
+    List.fold_left
+      (fun acc app ->
+        match Hashtbl.find_opt d.gates app with
+        | Some g when g.g_next > Sim.now d.sim -> (
+            match acc with
+            | Some t when t <= g.g_next -> acc
+            | Some _ | None -> Some g.g_next)
+        | Some _ | None -> acc)
+      None (backlogged d)
+  in
+  match next with
+  | None -> ()
+  | Some t -> (
+      let arm () =
+        d.gate_pump <-
+          Some
+            ( t,
+              Sim.schedule_at d.sim t (fun () ->
+                  d.gate_pump <- None;
+                  pump d) )
+      in
+      match d.gate_pump with
+      | Some (at, _) when at <= t -> ()
+      | Some (_, h) ->
+          Sim.cancel h;
+          arm ()
+      | None -> arm ())
 
 and check_drain d =
   match d.phase with
@@ -201,6 +271,7 @@ and exit_serve d =
 
 let on_nic_sent d pkt =
   d.pkt_log <- pkt :: d.pkt_log;
+  publish_share d pkt.Wifi.app;
   (match Hashtbl.find_opt d.callbacks pkt.Wifi.id with
   | Some p ->
       Hashtbl.remove d.callbacks pkt.Wifi.id;
@@ -238,10 +309,35 @@ let create sim nic ?(window = 1) () =
       rx_held = [];
       latencies = [];
       pkt_log = [];
+      share_bus = Bus.create ();
+      gates = Hashtbl.create 4;
+      gate_pump = None;
     }
   in
   Wifi.set_on_sent nic (fun pkt -> on_nic_sent d pkt);
   d
+
+let share_bus d = d.share_bus
+
+let set_rate d ~app limit =
+  (match limit with
+  | None -> Hashtbl.remove d.gates app
+  | Some r ->
+      let r = Float.max r 1e-9 in
+      (match Hashtbl.find_opt d.gates app with
+      | Some g -> g.g_rate <- r
+      | None -> Hashtbl.add d.gates app { g_rate = r; g_next = Time.zero }));
+  pump d
+
+let rate d ~app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g -> Some g.g_rate
+  | None -> None
+
+let gated_until d ~app =
+  match Hashtbl.find_opt d.gates app with
+  | Some g when g.g_next > Sim.now d.sim -> Some g.g_next
+  | Some _ | None -> None
 
 let send d ~app ~socket ~bytes ~on_sent =
   let pkt = Wifi.packet ~app ~socket ~bytes ~dir:`Tx () in

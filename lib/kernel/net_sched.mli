@@ -47,6 +47,34 @@ val pending : t -> app:int -> int
 val sent_bytes : t -> app:int -> int
 val credit : t -> app:int -> float
 
+(** {1 Per-app rate gates (power-budget actuation)}
+
+    A leaky-bucket limiter on packet dispatch: an app with a rate of [r]
+    may put at most [r] bytes per second on the air, averaged at frame
+    granularity. Gated apps keep their queue ordering and byte-fair
+    credit; they sit out the pick until the gate reopens (a dedicated
+    wakeup re-pumps the scheduler). RX is never gated — reception is not
+    schedulable — and the sandboxed app is exempt. *)
+
+val set_rate : t -> app:int -> float option -> unit
+(** [set_rate d ~app (Some r)] caps transmission at [r] bytes per second
+    (clamped to a tiny positive floor); [None] removes the gate. *)
+
+val rate : t -> app:int -> float option
+
+val gated_until : t -> app:int -> Psbox_engine.Time.t option
+
+(** {1 Share bus (live attribution)} *)
+
+type share_change = { at : Psbox_engine.Time.t; app : int; share : float }
+(** The app's in-flight frame count at the NIC changed; [share] is the new
+    count. *)
+
+val share_bus : t -> share_change Psbox_engine.Bus.t
+(** Published at every dispatch and TX/RX completion, so
+    {!Psbox_accounting.Split.live_net} can attribute NIC power without
+    manual share pushes. *)
+
 (** {1 Temporal balloons} *)
 
 val sandbox : t -> app:int -> unit

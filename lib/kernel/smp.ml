@@ -17,6 +17,9 @@ type config = {
          app and settle scheduling loans. Disable only for the ablation
          bench, which shows unsandboxed apps losing their share without
          it. *)
+  quota_period : Time.span;
+      (* CFS-bandwidth style refill period for per-app CPU quotas; a
+         throttled app stays off the runqueues until the next refill *)
 }
 
 let default_config =
@@ -27,7 +30,16 @@ let default_config =
     max_loan = 2e7;
     max_period = Time.ms 20;
     confine_cost = true;
+    quota_period = Time.ms 10;
   }
+
+type share_change = { at : Time.t; app : int; share : float }
+
+type quota_state = {
+  mutable q_limit : float; (* core-seconds of runtime per second, >= 0 *)
+  mutable q_used : Time.span; (* runtime consumed in the current period *)
+  mutable q_throttled : bool;
+}
 
 type balloon = {
   b_app : int;
@@ -59,6 +71,10 @@ type t = {
   mutable latencies : (int * float) list; (* (app, wake-to-run us), newest first *)
   mutable on_task_exit : Task.t -> unit;
   mutable stopped : bool;
+  share_bus : share_change Bus.t;
+  share_counts : (int, int) Hashtbl.t; (* app -> cores currently running it *)
+  quotas : (int, quota_state) Hashtbl.t;
+  mutable quota_tick : Sim.periodic option;
 }
 
 let create sim cpu ?(config = default_config) () =
@@ -80,6 +96,10 @@ let create sim cpu ?(config = default_config) () =
     latencies = [];
     on_task_exit = (fun _ -> ());
     stopped = false;
+    share_bus = Bus.create ();
+    share_counts = Hashtbl.create 16;
+    quotas = Hashtbl.create 8;
+    quota_tick = None;
   }
 
 let cpu smp = smp.cpu
@@ -115,16 +135,36 @@ let running_app smp ~core =
 (* ------------------------------------------------------------------ *)
 (* Trace spans                                                          *)
 
+let share_bus smp = smp.share_bus
+
+(* Running-core counts feed the share bus (live attribution): the idle
+   tags (-1 / -2) never count, so a balloon-forced-idle core contributes
+   no CPU share. Publishing is near-free when nothing subscribes. *)
+let note_share smp app delta =
+  if app >= 0 then begin
+    let cur =
+      match Hashtbl.find_opt smp.share_counts app with Some c -> c | None -> 0
+    in
+    let nw = cur + delta in
+    Hashtbl.replace smp.share_counts app nw;
+    Bus.publish smp.share_bus
+      { at = Sim.now smp.sim; app; share = float_of_int nw }
+  end
+
 let set_span smp core tag =
   let now = Sim.now smp.sim in
   match (smp.span_tag.(core), tag) with
   | Some a, Some b when a = b -> ()
   | old, _ ->
       (match old with
-      | Some a -> Trace.close_span smp.trace now (core, a)
+      | Some a ->
+          Trace.close_span smp.trace now (core, a);
+          note_share smp a (-1)
       | None -> ());
       (match tag with
-      | Some b -> Trace.open_span smp.trace now (core, b)
+      | Some b ->
+          Trace.open_span smp.trace now (core, b);
+          note_share smp b 1
       | None -> ());
       smp.span_tag.(core) <- tag
 
@@ -142,6 +182,19 @@ let cancel_work smp core =
       smp.work_events.(core) <- None
   | None -> ()
 
+(* Per-app CPU quota (CFS-bandwidth style). Only plain task entities are
+   throttled: balloon groups answer to the psbox coscheduling machinery,
+   not to the budget controller. *)
+let throttled_app smp app =
+  match Hashtbl.find_opt smp.quotas app with
+  | Some q -> q.q_throttled
+  | None -> false
+
+let entity_throttled smp e =
+  match e.Entity.kind with
+  | Entity.ETask t -> throttled_app smp t.Task.app
+  | Entity.EGroup _ -> false
+
 let update_curr smp core =
   let rq = smp.rqs.(core) in
   match Cfs.curr rq with
@@ -157,7 +210,11 @@ let update_curr smp core =
         in
         if smp.cfg.confine_cost || not forced_idle then Cfs.charge rq e delta;
         (match running_task_of e with
-        | Some t -> t.Task.remaining <- t.Task.remaining - delta
+        | Some t -> (
+            t.Task.remaining <- t.Task.remaining - delta;
+            match Hashtbl.find_opt smp.quotas t.Task.app with
+            | Some q -> q.q_used <- q.q_used + delta
+            | None -> ())
         | None -> ());
         smp.curr_started.(core) <- now
       end
@@ -175,7 +232,7 @@ let put_prev smp core =
       | Entity.EGroup g -> g.Entity.gcurr <- None
       | Entity.ETask _ -> ());
       Cfs.set_curr rq None;
-      if Entity.runnable e then Cfs.enqueue rq e;
+      if Entity.runnable e && not (entity_throttled smp e) then Cfs.enqueue rq e;
       Psbox_hw.Cpu.set_core_busy smp.cpu ~core false;
       set_span smp core None
 
@@ -516,6 +573,43 @@ and inner_rotate smp core =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Quota enforcement                                                    *)
+
+(* Take an over-quota app off the CPUs: queued entities are removed, cores
+   running it reschedule (put_prev's throttle guard keeps them off the
+   queue). Sandboxed apps are exempt (see [entity_throttled]). *)
+let throttle smp app q =
+  q.q_throttled <- true;
+  for core = 0 to cores smp - 1 do
+    let rq = smp.rqs.(core) in
+    List.iter
+      (fun e ->
+        match e.Entity.kind with
+        | Entity.ETask t when t.Task.app = app -> Cfs.dequeue rq e
+        | Entity.ETask _ | Entity.EGroup _ -> ())
+      (Cfs.queued rq)
+  done;
+  for core = 0 to cores smp - 1 do
+    match running_app smp ~core with
+    | Some a when a = app -> resched smp core
+    | Some _ | None -> ()
+  done
+
+let enforce_quota smp core =
+  if smp.live = None then
+    match running_app smp ~core with
+    | None -> ()
+    | Some app -> (
+        match Hashtbl.find_opt smp.quotas app with
+        | Some q
+          when (not q.q_throttled)
+               && balloon_of_app smp app = None
+               && Time.to_sec_f q.q_used
+                  >= q.q_limit *. Time.to_sec_f smp.cfg.quota_period ->
+            throttle smp app q
+        | Some _ | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Ticks                                                                *)
 
 let tick smp core =
@@ -528,6 +622,7 @@ let tick smp core =
            boundaries are enforced at sub-tick granularity *)
         if b.b_live then balloon_tick smp ~local:core b
     | None -> (
+        enforce_quota smp core;
         let rq = smp.rqs.(core) in
         match (Cfs.curr rq, Cfs.leftmost rq) with
         | Some c, Some l when l.Entity.vruntime < c.Entity.vruntime ->
@@ -552,6 +647,7 @@ let stop smp =
   smp.stopped <- true;
   Array.iter (function Some p -> Sim.cancel_every p | None -> ()) smp.tick_events;
   Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.work_events;
+  (match smp.quota_tick with Some p -> Sim.cancel_every p | None -> ());
   (match smp.live with Some b -> cosched_out smp b | None -> ());
   Trace.close_all smp.trace (Sim.now smp.sim)
 
@@ -595,12 +691,18 @@ let wake smp t =
               preempt_check smp core e)
       | None ->
           let e = Hashtbl.find smp.task_entities t.Task.tid in
-          if (not e.Entity.on_rq) && not (curr_is rq e) then begin
-            Cfs.place_woken rq e;
-            t.Task.vruntime <- e.Entity.vruntime;
-            Cfs.enqueue rq e
-          end;
-          preempt_check smp core e)
+          if throttled_app smp t.Task.app then
+            (* stays runnable but off the queue; the next quota refill
+               enqueues it *)
+            ()
+          else begin
+            if (not e.Entity.on_rq) && not (curr_is rq e) then begin
+              Cfs.place_woken rq e;
+              t.Task.vruntime <- e.Entity.vruntime;
+              Cfs.enqueue rq e
+            end;
+            preempt_check smp core e
+          end)
   | Task.Running | Task.Runnable -> t.Task.wake_pending <- true
   | Task.Exited -> ()
 
@@ -641,8 +743,71 @@ let spawn smp t =
       Hashtbl.replace smp.task_entities t.Task.tid e;
       Cfs.place_new rq e;
       t.Task.vruntime <- e.Entity.vruntime;
-      Cfs.enqueue rq e;
-      preempt_check smp core e
+      if not (throttled_app smp t.Task.app) then begin
+        Cfs.enqueue rq e;
+        preempt_check smp core e
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Quota API                                                            *)
+
+let unthrottle smp app q =
+  q.q_throttled <- false;
+  List.iter
+    (fun t ->
+      if Task.is_runnable t then
+        match Hashtbl.find_opt smp.task_entities t.Task.tid with
+        | Some e ->
+            let rq = smp.rqs.(t.Task.core) in
+            if (not e.Entity.on_rq) && not (curr_is rq e) then begin
+              Cfs.place_woken rq e;
+              t.Task.vruntime <- e.Entity.vruntime;
+              Cfs.enqueue rq e;
+              preempt_check smp t.Task.core e
+            end
+        | None -> ())
+    (app_tasks smp ~app)
+
+let quota_refill smp () =
+  if not smp.stopped then
+    Hashtbl.iter
+      (fun app q ->
+        q.q_used <- 0;
+        if q.q_throttled then unthrottle smp app q)
+      smp.quotas
+
+(* The refill timer starts lazily with the first quota, so an unbudgeted
+   machine schedules exactly the same events as before this feature. *)
+let ensure_quota_tick smp =
+  match smp.quota_tick with
+  | Some _ -> ()
+  | None ->
+      smp.quota_tick <-
+        Some (Sim.schedule_every smp.sim smp.cfg.quota_period (quota_refill smp))
+
+let set_quota smp ~app limit =
+  match limit with
+  | None -> (
+      match Hashtbl.find_opt smp.quotas app with
+      | Some q ->
+          if q.q_throttled then unthrottle smp app q;
+          Hashtbl.remove smp.quotas app
+      | None -> ())
+  | Some l ->
+      let l = Float.max 0.0 l in
+      (match Hashtbl.find_opt smp.quotas app with
+      | Some q -> q.q_limit <- l
+      | None ->
+          Hashtbl.replace smp.quotas app
+            { q_limit = l; q_used = 0; q_throttled = false });
+      ensure_quota_tick smp
+
+let quota smp ~app =
+  match Hashtbl.find_opt smp.quotas app with
+  | Some q -> Some q.q_limit
+  | None -> None
+
+let quota_throttled smp ~app = throttled_app smp app
 
 (* ------------------------------------------------------------------ *)
 (* Sandbox / unsandbox                                                  *)

@@ -30,6 +30,9 @@ type config = {
       (** bill balloon-forced idle to the sandboxed app and settle loans
           (default true — the paper's design; disable only to reproduce the
           ablation) *)
+  quota_period : Psbox_engine.Time.span;
+      (** refill period for per-app CPU quotas (default 10 ms); see
+          {!set_quota} *)
 }
 
 val default_config : config
@@ -60,6 +63,39 @@ val wake : t -> Task.t -> unit
 val set_on_task_exit : t -> (Task.t -> unit) -> unit
 
 val app_tasks : t -> app:int -> Task.t list
+
+(** {1 Per-app CPU quotas (power-budget actuation)}
+
+    CFS-bandwidth style throttling: each budgeted app may consume up to
+    [quota * quota_period] of runtime per period (so a quota of [1.5] on a
+    dual-core machine means one and a half cores' worth of CPU time).
+    An app that exhausts its budget is pulled off the runqueues until the
+    next refill; its tasks stay runnable but do not compete, so co-runners
+    are unaffected. Sandboxed (ballooned) apps are exempt — balloons are
+    psbox's own enforcement mechanism. *)
+
+val set_quota : t -> app:int -> float option -> unit
+(** [set_quota smp ~app (Some q)] caps the app at [q] core-seconds of
+    runtime per second; [None] removes the cap (a throttled app re-enters
+    at the next refill boundary). Quotas clamp at 0. The first quota ever
+    set arms the refill timer; until then the scheduler's event stream is
+    byte-identical to a build without quotas. *)
+
+val quota : t -> app:int -> float option
+
+val quota_throttled : t -> app:int -> bool
+(** The app is currently off the runqueues waiting for a refill. *)
+
+(** {1 Share bus (live attribution)} *)
+
+type share_change = { at : Psbox_engine.Time.t; app : int; share : float }
+(** The number of cores currently executing [app] changed; [share] is the
+    new count. Idle and balloon-forced-idle cores count for nobody. *)
+
+val share_bus : t -> share_change Psbox_engine.Bus.t
+(** Published on every running-app transition, synchronously with the
+    scheduling decision — {!Psbox_accounting.Split.live_cpu} subscribes to
+    drive usage-proportional attribution without manual share pushes. *)
 
 (** {1 Spatial balloons (psbox support)} *)
 

@@ -56,11 +56,14 @@ let create ?(seed = 42) ?(cores = 2)
     ?(gpu_governor =
       Psbox_hw.Dvfs.Ondemand { up_threshold = 0.6; sampling = Time.ms 20 })
     ?(dsp = false) ?(wifi = false) ?(wifi_virtual_macs = false)
-    ?(display = false) ?(gps = false) () =
+    ?(display = false) ?(gps = false)
+    ?(rail_retention = Some (Time.sec 120)) () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed in
+  let retention = rail_retention in
   let cpu =
-    Psbox_hw.Cpu.create sim ~governor:cpu_governor ~idle_w:cpu_idle_w ~cores ()
+    Psbox_hw.Cpu.create sim ?retention ~governor:cpu_governor
+      ~idle_w:cpu_idle_w ~cores ()
   in
   let smp =
     Smp.create sim cpu
@@ -71,8 +74,9 @@ let create ?(seed = 42) ?(cores = 2)
     if not gpu then None
     else begin
       let dev =
-        Psbox_hw.Accel.create sim ~name:"gpu" ~units:4 ~opps:gpu_opps
-          ~governor:gpu_governor ~idle_w:0.08 ~autosuspend:(Time.ms 200) ()
+        Psbox_hw.Accel.create sim ?retention ~name:"gpu" ~units:4
+          ~opps:gpu_opps ~governor:gpu_governor ~idle_w:0.08
+          ~autosuspend:(Time.ms 200) ()
       in
       Some
         (Accel_driver.create sim dev ~buffering:Accel_driver.Lock_requests
@@ -83,8 +87,8 @@ let create ?(seed = 42) ?(cores = 2)
     if not dsp then None
     else begin
       let dev =
-        Psbox_hw.Accel.create sim ~name:"dsp" ~units:2 ~opps:dsp_opps
-          ~idle_w:0.25
+        Psbox_hw.Accel.create sim ?retention ~name:"dsp" ~units:2
+          ~opps:dsp_opps ~idle_w:0.25
           ~governor:(Psbox_hw.Dvfs.Ondemand { up_threshold = 0.5; sampling = Time.ms 50 })
           ()
       in
@@ -94,12 +98,16 @@ let create ?(seed = 42) ?(cores = 2)
   let net =
     if not wifi then None
     else begin
-      let nic = Psbox_hw.Wifi.create sim ~virtual_macs:wifi_virtual_macs () in
+      let nic =
+        Psbox_hw.Wifi.create sim ?retention ~virtual_macs:wifi_virtual_macs ()
+      in
       Some (Net_sched.create sim nic ())
     end
   in
-  let display = if display then Some (Psbox_hw.Display.create sim ()) else None in
-  let gps = if gps then Some (Psbox_hw.Gps.create sim ()) else None in
+  let display =
+    if display then Some (Psbox_hw.Display.create sim ?retention ()) else None
+  in
+  let gps = if gps then Some (Psbox_hw.Gps.create sim ?retention ()) else None in
   (* Composition root for the power bus: every metered rail forwards its
      transitions onto one machine-wide bus, and the energy ledger rides it. *)
   let rails =
@@ -117,11 +125,21 @@ let create ?(seed = 42) ?(cores = 2)
     @ (match gps with Some g -> [ Psbox_hw.Gps.rail g ] | None -> [])
   in
   let power_bus = Bus.create () in
-  List.iter
-    (fun r ->
-      ignore
-        (Bus.subscribe (Psbox_hw.Power_rail.transitions r) (Bus.publish power_bus)))
-    rails;
+  let forward r =
+    ignore
+      (Bus.subscribe (Psbox_hw.Power_rail.transitions r) (Bus.publish power_bus))
+  in
+  List.iter forward rails;
+  (* Per-app attribution rails (display/GPS) are created lazily, after the
+     machine boots: hot-join them onto the bus as they appear. They carry a
+     share of their physical rail's power, so the ledger below must not
+     count them twice. *)
+  (match display with
+  | Some d -> Psbox_hw.Display.set_on_app_rail d forward
+  | None -> ());
+  (match gps with
+  | Some g -> Psbox_hw.Gps.set_on_app_rail g forward
+  | None -> ());
   let ledger =
     {
       total_w =
@@ -133,11 +151,15 @@ let create ?(seed = 42) ?(cores = 2)
   ignore
     (Bus.subscribe power_bus (fun tr ->
          let open Psbox_hw.Power_rail in
-         ledger.settled_j <-
-           ledger.settled_j
-           +. (ledger.total_w *. Time.to_sec_f (tr.at - ledger.settled_t));
-         ledger.settled_t <- tr.at;
-         ledger.total_w <- ledger.total_w +. tr.after_w -. tr.before_w));
+         (* attribution rails are named "<physical>.app<id>"; physical rail
+            names carry no dot *)
+         if not (String.contains tr.rail_name '.') then begin
+           ledger.settled_j <-
+             ledger.settled_j
+             +. (ledger.total_w *. Time.to_sec_f (tr.at - ledger.settled_t));
+           ledger.settled_t <- tr.at;
+           ledger.total_w <- ledger.total_w +. tr.after_w -. tr.before_w
+         end));
   {
     sim; rng; cpu; smp; gpu; dsp; net; display; gps; power_bus; ledger;
     apps = []; next_app = 1; started = false;

@@ -26,11 +26,19 @@ val create :
   ?wifi_virtual_macs:bool ->
   ?display:bool ->
   ?gps:bool ->
+  ?rail_retention:Psbox_engine.Time.span option ->
   unit ->
   t
 (** Defaults: seed 42, 2 cores, ondemand CPU governor, no devices.
     [confine_cost] (default true) is the paper's lost-sharing billing; it
-    exists as a switch only for the ablation bench. *)
+    exists as a switch only for the ablation bench.
+
+    [rail_retention] bounds every rail's power-transition history (default
+    [Some 120 s]): long-running experiments stop accumulating unbounded
+    timeline memory, while anything shorter than the retention window —
+    including every experiment shipped in this repo — sees byte-identical
+    behaviour because compaction only triggers beyond it. Pass [None] to
+    keep full history (e.g. when a test inspects old transitions). *)
 
 val am57 : ?seed:int -> unit -> t
 (** Dual Cortex-A15-like CPU + SGX544-like GPU + C66x-like DSP. *)
@@ -80,7 +88,11 @@ val rails : t -> Psbox_hw.Power_rail.t list
     here instead of polling rail histories. *)
 
 val power_bus : t -> Psbox_hw.Power_rail.transition Psbox_engine.Bus.t
-(** The machine-wide power-transition bus. *)
+(** The machine-wide power-transition bus. Carries the physical rails plus
+    the lazily-created per-app attribution rails of the display and GPS
+    (hot-joined at creation); attribution rails are recognizable by the
+    ["<physical>.app<id>"] naming convention and are excluded from the
+    energy ledger, which would otherwise double-count them. *)
 
 val live_power_w : t -> float
 (** Current draw summed over all metered rails, maintained O(1) by a bus

@@ -1,0 +1,278 @@
+(* Tests for the power-budget control plane: the CFS quota and driver rate
+   gates it actuates, cap convergence and graceful degradation, envelope
+   squeezing, admission ordering, and the auto-wired live splitters it
+   measures through. *)
+open Psbox_engine
+module System = Psbox_kernel.System
+module Smp = Psbox_kernel.Smp
+module Accel_driver = Psbox_kernel.Accel_driver
+module Split = Psbox_accounting.Split
+module Budget = Psbox_budget.Budget
+module W = Psbox_workloads.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spin sys app =
+  ignore
+    (W.spawn sys ~app ~name:"spin"
+       (W.forever (fun () -> [ W.Compute (Time.ms 2); W.Count ("units", 1.0) ])))
+
+let rate sys app span =
+  let u0 = System.counter app "units" in
+  System.run_for sys span;
+  (System.counter app "units" -. u0) /. Time.to_sec_f span
+
+(* The CFS quota alone halves a solo app's runtime: weight-based shares
+   could never do this (a lone app always gets the whole core). *)
+let test_quota_caps_solo_app () =
+  let sys = System.create ~cores:1 () in
+  let a = System.new_app sys ~name:"a" in
+  spin sys a;
+  System.start sys;
+  let free = rate sys a (Time.sec 1) in
+  Smp.set_quota (System.smp sys) ~app:a.System.app_id (Some 0.5);
+  System.run_for sys (Time.ms 100);
+  let capped = rate sys a (Time.sec 1) in
+  let share = capped /. free in
+  check_bool
+    (Printf.sprintf "half runtime (%.2f)" share)
+    true
+    (share > 0.45 && share < 0.55);
+  Smp.set_quota (System.smp sys) ~app:a.System.app_id None;
+  System.run_for sys (Time.ms 100);
+  let restored = rate sys a (Time.sec 1) in
+  check_bool "restored" true (restored /. free > 0.95);
+  System.shutdown sys
+
+(* A cap converges: the capped tenant's windowed mean lands within 10% of
+   the cap, deterministically, and the co-runner keeps its throughput. *)
+let test_cap_converges () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  spin sys a;
+  spin sys b;
+  System.start sys;
+  System.run_for sys (Time.ms 200);
+  let b_free = rate sys b (Time.sec 1) in
+  let ctl = Budget.create sys () in
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:0.9;
+  System.run_for sys (Time.sec 2);
+  let meas = Budget.measured_w ctl ~app:a.System.app_id in
+  check_bool
+    (Printf.sprintf "within 10%% of cap (%.3f W)" meas)
+    true
+    (Float.abs (meas -. 0.9) /. 0.9 < 0.10);
+  let b_capped = rate sys b (Time.sec 1) in
+  check_bool "neighbor unaffected" true
+    (Float.abs (b_capped -. b_free) /. b_free < 0.02);
+  Budget.stop ctl;
+  check_bool "quota released on stop" true
+    (Smp.quota (System.smp sys) ~app:a.System.app_id = None);
+  System.shutdown sys
+
+(* A cap below the attributable floor pins the throttle at its floor; the
+   app degrades gracefully instead of starving. *)
+let test_cap_below_idle_floor () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  spin sys a;
+  spin sys b;
+  System.start sys;
+  let ctl = Budget.create sys () in
+  (* even never running would attribute ~0 W, but any progress at all
+     draws more than 1 mW -- unreachable *)
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:0.001;
+  System.run_for sys (Time.sec 2);
+  check_bool "throttle at floor" true
+    (Budget.throttle ctl ~app:a.System.app_id <= 0.02 +. 1e-9);
+  let a_rate = rate sys a (Time.sec 1) in
+  check_bool "still makes progress" true (a_rate > 0.0);
+  Budget.stop ctl;
+  System.shutdown sys
+
+(* Raising a cap mid-run relaxes the throttle back up; a generous cap
+   releases the actuators entirely. *)
+let test_cap_raised_mid_run () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  spin sys a;
+  spin sys b;
+  System.start sys;
+  let ctl = Budget.create sys () in
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:0.5;
+  System.run_for sys (Time.sec 2);
+  let thr_tight = Budget.throttle ctl ~app:a.System.app_id in
+  let rate_tight = rate sys a (Time.sec 1) in
+  check_bool "tight cap throttles" true (thr_tight < 0.5);
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:10.0;
+  System.run_for sys (Time.sec 2);
+  check_bool "throttle fully relaxed" true
+    (Budget.throttle ctl ~app:a.System.app_id = 1.0);
+  check_bool "quota released" true
+    (Smp.quota (System.smp sys) ~app:a.System.app_id = None);
+  let rate_free = rate sys a (Time.sec 1) in
+  check_bool "throughput recovers" true (rate_free > rate_tight *. 1.5);
+  Budget.stop ctl;
+  System.shutdown sys
+
+(* Two apps sharing one accelerator rail: capping one squeezes only its
+   attributed share of that rail; the other keeps its throughput. *)
+let test_accel_rail_shared () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ~gpu:true ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  let render app =
+    ignore
+      (W.spawn sys ~app ~name:"render"
+         (W.forever (fun () ->
+              [
+                W.Compute (Time.us 200);
+                W.Gpu_batch [ W.spec ~kind:"draw" ~work_s:1.0e-3 () ];
+                W.Count ("batches", 1.0);
+              ])))
+  in
+  render a;
+  render b;
+  System.start sys;
+  System.run_for sys (Time.ms 500);
+  let ctl = Budget.create sys () in
+  (* an unreachable cap measures without throttling *)
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:100.0;
+  System.run_for sys (Time.sec 1);
+  let free = Budget.measured_w ctl ~app:a.System.app_id in
+  check_bool "draws on the accel rail" true (free > 0.0);
+  let b0 = System.counter b "batches" in
+  Budget.set_cap ctl ~app:a.System.app_id ~watts:(free /. 3.0);
+  System.run_for sys (Time.sec 2);
+  let capped = Budget.measured_w ctl ~app:a.System.app_id in
+  check_bool
+    (Printf.sprintf "attributed draw drops (%.3f -> %.3f W)" free capped)
+    true
+    (capped < free /. 2.0);
+  check_bool "accel gate armed" true
+    (Accel_driver.rate (System.gpu sys) ~app:a.System.app_id <> None);
+  check_bool "co-renderer keeps going" true
+    (System.counter b "batches" -. b0 > 0.0);
+  Budget.stop ctl;
+  check_bool "gate released on stop" true
+    (Accel_driver.rate (System.gpu sys) ~app:a.System.app_id = None);
+  System.shutdown sys
+
+(* An envelope squeezes harder as it is spent: the effective cap after
+   heavy use is lower than at the start. *)
+let test_envelope_squeezes () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  spin sys a;
+  System.start sys;
+  let ctl = Budget.create sys () in
+  (* ~2.5 W draw against a 10 J / 10 s envelope (1 W average) *)
+  Budget.set_envelope ctl ~app:a.System.app_id ~joules:10.0
+    ~horizon:(Time.sec 10);
+  let cap0 = Budget.effective_cap_w ctl ~app:a.System.app_id in
+  System.run_for sys (Time.sec 3);
+  let cap3 = Budget.effective_cap_w ctl ~app:a.System.app_id in
+  check_bool
+    (Printf.sprintf "cap declines after overspend (%.2f -> %.2f W)" cap0 cap3)
+    true
+    (cap3 < cap0);
+  check_bool "throttled" true (Budget.throttle ctl ~app:a.System.app_id < 1.0);
+  Budget.stop ctl;
+  System.shutdown sys
+
+(* Admission: FIFO queue, strict head-first drain (no sneaking past a
+   large waiter), rejection of what can never fit. *)
+let test_admission_ordering () =
+  let sys = System.create () in
+  let ctl = Budget.create sys ~machine_budget_w:3.0 () in
+  let order = ref [] in
+  let note name () = order := name :: !order in
+  check_bool "A fits" true
+    (Budget.admit ctl ~app:1 ~watts:2.0 () = Budget.Admitted);
+  check_bool "B fits" true
+    (Budget.admit ctl ~app:2 ~watts:0.9 () = Budget.Admitted);
+  check_bool "C queues" true
+    (Budget.admit ctl ~app:3 ~watts:1.5 ~on_admit:(note "C") ~queue:true ()
+    = Budget.Queued);
+  check_bool "D queues behind C" true
+    (Budget.admit ctl ~app:4 ~watts:0.2 ~on_admit:(note "D") ~queue:true ()
+    = Budget.Queued);
+  check_bool "E rejected" true
+    (Budget.admit ctl ~app:5 ~watts:5.0 () = Budget.Rejected);
+  (try
+     ignore (Budget.admit ctl ~app:1 ~watts:0.1 ());
+     Alcotest.fail "duplicate admit should raise"
+   with Invalid_argument _ -> ());
+  (* 0.9 W freed: not enough for C at the head, and D must not sneak by *)
+  Budget.release ctl ~app:2;
+  check_bool "C still queued" false (Budget.admitted ctl ~app:3);
+  check_bool "D held behind C" false (Budget.admitted ctl ~app:4);
+  check_int "two waiting" 2 (Budget.queued ctl);
+  (* 2 W more freed: C drains first, then D *)
+  Budget.release ctl ~app:1;
+  check_bool "C admitted" true (Budget.admitted ctl ~app:3);
+  check_bool "D admitted" true (Budget.admitted ctl ~app:4);
+  check_bool "admitted in arrival order" true (List.rev !order = [ "C"; "D" ]);
+  check_int "queue drained" 0 (Budget.queued ctl);
+  Budget.stop ctl;
+  System.shutdown sys
+
+(* The auto-wired CPU splitter attributes the whole rail while anyone is
+   running -- its total matches the rail's own energy meter. *)
+let test_live_cpu_attribution_total () =
+  let sys =
+    System.create ~cores:2 ~cpu_governor:Psbox_hw.Dvfs.Performance ()
+  in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  spin sys a;
+  spin sys b;
+  System.start sys;
+  System.run_for sys (Time.ms 100);
+  let from = System.now sys in
+  let lv = Split.live_cpu (System.smp sys) ~from in
+  System.run_for sys (Time.sec 1);
+  let until = System.now sys in
+  let attributed = Split.total_attributed (Split.live_read lv ~until) in
+  let rail = Psbox_hw.Cpu.rail (System.cpu sys) in
+  let metered =
+    Timeline.integrate (Psbox_hw.Power_rail.timeline rail) from until
+  in
+  check_bool
+    (Printf.sprintf "full rail attributed (%.3f vs %.3f J)" attributed metered)
+    true
+    (Float.abs (attributed -. metered) /. metered < 0.01);
+  Split.live_detach lv;
+  System.shutdown sys
+
+let suite =
+  [
+    Alcotest.test_case "quota caps a solo app" `Quick test_quota_caps_solo_app;
+    Alcotest.test_case "cap converges within 10%" `Quick test_cap_converges;
+    Alcotest.test_case "cap below idle floor degrades gracefully" `Quick
+      test_cap_below_idle_floor;
+    Alcotest.test_case "cap raised mid-run relaxes" `Quick
+      test_cap_raised_mid_run;
+    Alcotest.test_case "two apps share one accel rail" `Quick
+      test_accel_rail_shared;
+    Alcotest.test_case "envelope squeezes as it is spent" `Quick
+      test_envelope_squeezes;
+    Alcotest.test_case "admission drains head-first" `Quick
+      test_admission_ordering;
+    Alcotest.test_case "live_cpu attributes the full rail" `Quick
+      test_live_cpu_attribution_total;
+  ]

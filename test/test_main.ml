@@ -18,4 +18,5 @@ let () =
       ("random", Test_random.suite);
       ("misc", Test_misc.suite);
       ("system", Test_system.suite);
+      ("budget", Test_budget.suite);
     ]
