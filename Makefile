@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-diff smoke clean
+.PHONY: all build test bench bench-json bench-diff trace-smoke smoke clean
 
 all: build
 
@@ -21,12 +21,19 @@ bench-json:
 bench-diff:
 	dune exec bench/diff.exe
 
-# Fast end-to-end confidence: full build, the whole test suite, and one
-# reduced experiment driven through the real CLI.
+# Run one experiment with the trace recorder armed, then validate the
+# exported Chrome trace (parses, >0 events) with the CLI's own checker.
+trace-smoke:
+	dune exec bin/psbox_sim.exe -- --trace-out _build/trace-smoke.json budget
+	dune exec bin/psbox_sim.exe -- trace-check _build/trace-smoke.json
+
+# Fast end-to-end confidence: full build, the whole test suite, one reduced
+# experiment driven through the real CLI, and a validated trace export.
 smoke:
 	dune build
 	dune runtest
 	dune exec bin/psbox_sim.exe -- run fig3
+	$(MAKE) trace-smoke
 	dune exec bench/diff.exe
 
 clean:

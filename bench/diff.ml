@@ -1,11 +1,14 @@
 (* Compare the two most recent BENCH_<date>.json snapshots in the current
    directory and fail (exit 1) if any benchmark regressed by more than 20%.
+   The failure message names each regressed benchmark and by how much.
 
    The snapshot format is the fixed, line-oriented JSON that
    [bench/main.ml --json] writes, so a scanf-grade parser is enough — no
-   JSON dependency. With fewer than two snapshots there is nothing to
-   compare and the tool exits 0, so it can sit on the smoke path from the
-   first commit.
+   JSON dependency. Lines without an "ns_per_run" key (e.g. the
+   "event_counts" rows) are skipped, and a metric present in only one
+   snapshot is reported as NEW/GONE rather than failing the diff. With
+   fewer than two snapshots there is nothing to compare and the tool exits
+   0, so it can sit on the smoke path from the first commit.
 
    Run with:  make bench-diff  (or  dune exec bench/diff.exe) *)
 
@@ -66,7 +69,7 @@ let () =
       let base = load older and cur = load newer in
       Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n" older newer
         threshold_pct;
-      let regressions = ref 0 and compared = ref 0 in
+      let regressions = ref [] and compared = ref 0 in
       List.iter
         (fun (name, ns) ->
           match List.assoc_opt name base with
@@ -78,7 +81,7 @@ let () =
               in
               let tag =
                 if pct > threshold_pct then begin
-                  incr regressions;
+                  regressions := (name, pct) :: !regressions;
                   "REGRESS"
                 end
                 else if pct < -.threshold_pct then "IMPROVE"
@@ -91,12 +94,16 @@ let () =
           if not (List.mem_assoc name cur) then
             Printf.printf "  GONE   %s\n" name)
         base;
-      if !regressions > 0 then begin
-        Printf.printf "bench-diff: %d of %d benchmarks regressed >%.0f%%\n"
-          !regressions !compared threshold_pct;
-        exit 1
-      end
-      else Printf.printf "bench-diff: %d benchmarks within threshold\n" !compared
+      (match List.rev !regressions with
+      | [] ->
+          Printf.printf "bench-diff: %d benchmarks within threshold\n" !compared
+      | rs ->
+          Printf.printf "bench-diff: %d of %d benchmarks regressed >%.0f%%:\n"
+            (List.length rs) !compared threshold_pct;
+          List.iter
+            (fun (name, pct) -> Printf.printf "  - %s: %+.1f%%\n" name pct)
+            rs;
+          exit 1)
   | _ ->
       print_endline
         "bench-diff: fewer than two BENCH_*.json snapshots, nothing to compare"

@@ -19,6 +19,7 @@ module System = Psbox_kernel.System
 module Psbox = Psbox_core.Psbox
 module W = Psbox_workloads.Workload
 module T = Psbox_engine.Time
+module Telemetry = Psbox_telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every table and figure                            *)
@@ -221,9 +222,21 @@ let write_json rows =
         (json_escape name) ns
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  (* Per-subsystem telemetry accumulated over the whole bench run: how many
+     events each kernel path handled while producing the numbers above. The
+     key is "count", not "ns_per_run", so bench/diff.ml skips these rows. *)
+  let counts = Telemetry.Metrics.values () in
+  output_string oc "  ],\n  \"event_counts\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"count\": %.0f }%s\n"
+        (json_escape name) v
+        (if i = List.length counts - 1 then "" else ","))
+    counts;
   output_string oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "\nwrote %s (%d benchmarks)\n%!" path (List.length rows)
+  Printf.printf "\nwrote %s (%d benchmarks, %d event counters)\n%!" path
+    (List.length rows) (List.length counts)
 
 let () =
   let argv = Array.to_list Sys.argv in

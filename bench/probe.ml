@@ -1,0 +1,43 @@
+(* Telemetry overhead probe: times the same simulated scheduler-second
+   with the metrics registry enabled and disabled, interleaved A/B/A/B so
+   machine drift hits both sides. Reports the delta of the per-side
+   minima — on a noisy box single-shot bechamel comparisons can swing by
+   more than the instrumentation costs, and this isolates the cost
+   directly. *)
+module System = Psbox_kernel.System
+module W = Psbox_workloads.Workload
+module T = Psbox_engine.Time
+
+let sched_second () =
+  let sys = System.create ~cores:2 () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  let spin app core =
+    ignore
+      (W.spawn sys ~app ~name:"spin" ~core
+         (W.forever (fun () -> [ W.Compute (T.ms 5) ])))
+  in
+  spin a 0; spin b 1;
+  System.start sys;
+  System.run_for sys (T.sec 1);
+  System.shutdown sys
+
+let time n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do f () done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
+
+let () =
+  let n = 400 in
+  ignore (time 50 sched_second); (* warmup *)
+  let on1 = time n sched_second in
+  Psbox_telemetry.set_enabled false;
+  let off1 = time n sched_second in
+  Psbox_telemetry.set_enabled true;
+  let on2 = time n sched_second in
+  Psbox_telemetry.set_enabled false;
+  let off2 = time n sched_second in
+  Psbox_telemetry.set_enabled true;
+  Printf.printf "on: %.1f / %.1f us   off: %.1f / %.1f us   overhead: %+.1f%%\n"
+    on1 on2 off1 off2
+    ((min on1 on2 -. min off1 off2) /. min off1 off2 *. 100.0)

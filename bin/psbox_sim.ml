@@ -1,13 +1,20 @@
 (* psbox-sim: run the paper's experiments from the command line.
 
    Usage:
-     psbox_sim list             enumerate experiment ids
-     psbox_sim run <id> ...     run one or more experiments
-     psbox_sim all              run everything, in paper order *)
+     psbox_sim list                    enumerate experiment ids
+     psbox_sim [run] <id> ...          run one or more experiments
+     psbox_sim all                     run everything, in paper order
+     psbox_sim trace-check <file>      validate an exported Chrome trace
+
+   Telemetry options (on `run`, `all`, and the default command):
+     --trace-out FILE   record a structured trace of the run and export it
+                        as Chrome trace-event JSON (chrome://tracing)
+     --metrics          print the deterministic metrics snapshot afterwards *)
 
 open Cmdliner
 module Registry = Psbox_experiments.Registry
 module Report = Psbox_experiments.Report
+module Telemetry = Psbox_telemetry
 
 let list_cmd =
   let doc = "List the available experiments (one per paper table/figure)." in
@@ -19,7 +26,26 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_ids ids =
+let trace_out_arg =
+  let doc =
+    "Record a structured trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, print the telemetry metrics snapshot (sorted by name, \
+     byte-reproducible for a given run)."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let run_ids trace_out metrics ids =
+  (match trace_out with
+  | Some _ ->
+      Telemetry.Tracing.clear ();
+      Telemetry.Tracing.start ()
+  | None -> ());
   let run_one id =
     match Registry.find id with
     | Some e -> Report.print (e.Registry.e_run ())
@@ -27,21 +53,79 @@ let run_ids ids =
         Printf.eprintf "unknown experiment %S; try `psbox_sim list`\n" id;
         exit 2
   in
-  List.iter run_one ids
+  List.iter run_one ids;
+  (match trace_out with
+  | Some path ->
+      Telemetry.Tracing.stop ();
+      let events = Telemetry.Tracing.events () in
+      Telemetry.Chrome_trace.write path events;
+      Printf.printf "trace: wrote %d events to %s" (List.length events) path;
+      (match Telemetry.Tracing.dropped () with
+      | 0 -> print_newline ()
+      | n -> Printf.printf " (%d dropped at the buffer cap)\n" n)
+  | None -> ());
+  if metrics then begin
+    print_endline "== telemetry metrics ==";
+    print_string (Telemetry.Metrics.dump_string ())
+  end
 
 let run_cmd =
   let doc = "Run specific experiments by id." in
   let ids =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment id")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_ids $ trace_out_arg $ metrics_arg $ ids)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run () = run_ids (List.map (fun e -> e.Registry.e_id) Registry.all) in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  let run trace_out metrics =
+    run_ids trace_out metrics (List.map (fun e -> e.Registry.e_id) Registry.all)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ trace_out_arg $ metrics_arg)
+
+let trace_check_cmd =
+  let doc =
+    "Validate a Chrome trace-event JSON file (as written by --trace-out): it \
+     must parse and contain at least one event. Exits non-zero otherwise."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"trace file")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Telemetry.Chrome_trace.validate text with
+    | Ok 0 ->
+        Printf.eprintf "trace-check: %s parses but contains no events\n" file;
+        exit 1
+    | Ok n ->
+        Printf.printf "trace-check: %s ok (%d events)\n" file n
+    | Error msg ->
+        Printf.eprintf "trace-check: %s invalid: %s\n" file msg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file)
+
+(* Default command: bare experiment ids work without the `run` subcommand
+   (`psbox_sim --trace-out t.json budget`). *)
+let default_term =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run trace_out metrics ids =
+    match ids with
+    | [] -> `Help (`Pager, None)
+    | ids ->
+        run_ids trace_out metrics ids;
+        `Ok ()
+  in
+  Term.(ret (const run $ trace_out_arg $ metrics_arg $ ids))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in
   let info = Cmd.info "psbox_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:default_term info
+          [ list_cmd; run_cmd; all_cmd; trace_check_cmd ]))

@@ -4,6 +4,11 @@ module Smp = Psbox_kernel.Smp
 module Accel_driver = Psbox_kernel.Accel_driver
 module Net_sched = Psbox_kernel.Net_sched
 module Split = Psbox_accounting.Split
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
+
+let budget_track = "budget"
+let m_ticks = Tm.counter "budget.ticks"
 
 type demand =
   | Cap of float
@@ -28,6 +33,10 @@ type entry = {
   mutable e_ring_n : int;
   mutable e_history : (Time.t * float * float) list;
       (* (tick time, windowed mean W, effective cap W), newest first *)
+  (* telemetry handles (per app, resolved once) *)
+  e_lane : string; (* "app<id>" *)
+  e_g_throttle : Tm.gauge; (* budget.app<id>.throttle_level *)
+  e_g_measured : Tm.gauge; (* budget.app<id>.measured_w *)
 }
 
 type t = {
@@ -135,6 +144,17 @@ let control_entry ctl e =
   let meas = windowed_mean_w ctl e in
   let cap = effective_cap_of ctl e in
   e.e_history <- (now ctl, meas, cap) :: e.e_history;
+  Tm.set e.e_g_measured meas;
+  if Tt.recording () then
+    Tt.span ~track:budget_track ~lane:e.e_lane ~name:"control"
+      ~args:
+        [
+          ("measured_w", meas);
+          ("cap_w", (if Float.is_finite cap then cap else -1.0));
+          ("throttle", e.e_throttle);
+        ]
+      ~start:(max 0 (now ctl - ctl.period))
+      ~stop:(now ctl) ();
   (* multiplicative-proportional law with a deadband, steered by the
      {e last period's} draw (the windowed mean above is what we report and
      judge convergence on, but steering on it adds 'window' periods of
@@ -152,6 +172,7 @@ let control_entry ctl e =
   else if meas_p < under && t0 < 1.0 then
     e.e_throttle <-
       Float.min 1.0 (t0 *. Float.min 1.1 (cap /. Float.max meas_p 1e-9));
+  Tm.set e.e_g_throttle e.e_throttle;
   if e.e_throttle <> t0 then actuate ctl e
 
 let bias_dvfs ctl =
@@ -178,6 +199,7 @@ let bias_dvfs ctl =
 
 let control_tick ctl () =
   if not ctl.stopped then begin
+    Tm.incr m_ticks;
     Hashtbl.iter (fun _ e -> control_entry ctl e) ctl.entries;
     bias_dvfs ctl
   end
@@ -218,7 +240,9 @@ let create sys ?(period = Time.ms 50) ?(window_periods = 4)
     }
   in
   ctl.tick <-
-    Some (Sim.schedule_every (System.sim sys) period (control_tick ctl));
+    Some
+      (Sim.schedule_every (System.sim sys) ~label:"budget.tick" period
+         (control_tick ctl));
   ctl
 
 let period ctl = ctl.period
@@ -239,8 +263,14 @@ let entry ctl app =
           e_ring_i = 0;
           e_ring_n = 0;
           e_history = [];
+          e_lane = "app" ^ string_of_int app;
+          e_g_throttle =
+            Tm.gauge (Printf.sprintf "budget.app%d.throttle_level" app);
+          e_g_measured =
+            Tm.gauge (Printf.sprintf "budget.app%d.measured_w" app);
         }
       in
+      Tm.set e.e_g_throttle e.e_throttle;
       Hashtbl.replace ctl.entries app e;
       e
 

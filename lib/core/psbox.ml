@@ -6,8 +6,23 @@ module Net_sched = Psbox_kernel.Net_sched
 module Power_vstate = Psbox_kernel.Power_vstate
 module Power_rail = Psbox_hw.Power_rail
 module Sample = Psbox_meter.Sample
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
 
 type target = Cpu | Gpu | Dsp | Wifi | Display | Gps
+
+let target_label = function
+  | Cpu -> "cpu"
+  | Gpu -> "gpu"
+  | Dsp -> "dsp"
+  | Wifi -> "wifi"
+  | Display -> "display"
+  | Gps -> "gps"
+
+let psbox_track = "core.psbox"
+let m_enters = Tm.counter "psbox.enters"
+let m_leaves = Tm.counter "psbox.leaves"
+let m_balloons = Tm.counter "psbox.balloons"
 
 exception Not_in_psbox
 
@@ -86,6 +101,10 @@ let record_stop binding t =
   match binding.b_open with
   | Some t0 ->
       binding.b_closed <- (t0, t) :: binding.b_closed;
+      Tm.incr m_balloons;
+      if Tt.recording () then
+        Tt.span ~track:psbox_track ~lane:(target_label binding.b_target)
+          ~name:"balloon" ~start:t0 ~stop:t ();
       binding.b_open <- None
   | None -> ()
 
@@ -250,13 +269,23 @@ let enter psbox =
   if not psbox.inside then begin
     psbox.inside <- true;
     psbox.entered_at <- now psbox;
+    Tm.incr m_enters;
+    if Tt.recording () then
+      Tt.instant ~track:psbox_track
+        ~lane:("app" ^ string_of_int psbox.p_app)
+        ~name:"enter" (now psbox);
     List.iter (fun b -> b.b_attach ()) psbox.bindings
   end
 
 let leave psbox =
   if psbox.inside then begin
     List.iter (fun b -> b.b_detach ()) psbox.bindings;
-    psbox.inside <- false
+    psbox.inside <- false;
+    Tm.incr m_leaves;
+    if Tt.recording () then
+      Tt.instant ~track:psbox_track
+        ~lane:("app" ^ string_of_int psbox.p_app)
+        ~name:"leave" (now psbox)
   end
 
 let inside psbox = psbox.inside

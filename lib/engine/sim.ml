@@ -1,3 +1,16 @@
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
+
+(* Event-loop profiling: process-global metrics, handles resolved once at
+   load so the per-event cost is a branch and a float store. *)
+let m_fired = Tm.counter "sim.events_fired"
+let m_scheduled = Tm.counter "sim.events_scheduled"
+let m_cancelled = Tm.counter "sim.events_cancelled"
+let m_reap_passes = Tm.counter "sim.reap_passes"
+let m_reaped = Tm.counter "sim.tombstones_reaped"
+let g_depth = Tm.gauge "sim.queue_depth"
+let g_depth_max = Tm.gauge "sim.queue_depth_max"
+
 type state = Pending | Fired | Cancelled
 
 type handle = {
@@ -24,23 +37,40 @@ let create () =
 
 let now sim = sim.clock
 
-let schedule_at sim time fn =
+(* [?label] tags the event with a per-source counter
+   ([sim.events.<label>], bumped when it fires). The counter is resolved
+   here, once per call — label hot one-shot events from a pre-resolved
+   subsystem counter instead. *)
+let schedule_at sim ?label time fn =
   if time < sim.clock then
     invalid_arg
       (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp time
          Time.pp sim.clock);
+  let fn =
+    match label with
+    | None -> fn
+    | Some l ->
+        let c = Tm.counter ("sim.events." ^ l) in
+        fun () ->
+          Tm.incr c;
+          fn ()
+  in
   let h = { time; seq = sim.next_seq; fn; state = Pending; owner = sim } in
   sim.next_seq <- sim.next_seq + 1;
   Heap.push sim.q h;
+  Tm.incr m_scheduled;
   h
 
-let schedule_after sim span fn = schedule_at sim (sim.clock + span) fn
+let schedule_after sim ?label span fn =
+  schedule_at sim ?label (sim.clock + span) fn
 
 (* Periodic-timer churn (scheduler ticks, governor sampling) cancels events
    constantly; reap the tombstones in bulk once they outnumber live events,
    so the queue tracks the live population instead of growing with churn. *)
 let maybe_reap sim =
   if sim.dead > 64 && sim.dead * 2 > Heap.size sim.q then begin
+    Tm.incr m_reap_passes;
+    Tm.add m_reaped (float_of_int sim.dead);
     Heap.filter_in_place sim.q ~keep:(fun h -> h.state = Pending);
     sim.dead <- 0
   end
@@ -49,6 +79,7 @@ let cancel h =
   match h.state with
   | Pending ->
       h.state <- Cancelled;
+      Tm.incr m_cancelled;
       h.owner.dead <- h.owner.dead + 1;
       maybe_reap h.owner
   | Fired | Cancelled -> ()
@@ -64,6 +95,19 @@ let rec pop_live sim =
       pop_live sim
   | Some h -> Some h
 
+(* Per-fire bookkeeping: the global fired counter, queue-depth gauges, and
+   (only while a trace is being recorded) a decimated queue-depth timeline
+   sample so huge runs stay exportable. *)
+let note_fired sim =
+  Tm.incr m_fired;
+  let depth = float_of_int (Heap.size sim.q) in
+  Tm.set g_depth depth;
+  Tm.set_max g_depth_max depth;
+  if
+    Tt.recording ()
+    && int_of_float (Tm.counter_value m_fired) land 4095 = 0
+  then Tt.sample ~track:"engine.sim" ~name:"sim.queue_depth" sim.clock depth
+
 let run_until sim limit =
   let rec loop () =
     match Heap.peek sim.q with
@@ -74,6 +118,7 @@ let run_until sim limit =
         | Pending ->
             h.state <- Fired;
             sim.clock <- h.time;
+            note_fired sim;
             h.fn ()
         | Fired -> assert false);
         loop ()
@@ -88,6 +133,7 @@ let run sim =
     | Some h ->
         h.state <- Fired;
         sim.clock <- h.time;
+        note_fired sim;
         h.fn ();
         loop ()
     | None -> ()
@@ -102,8 +148,18 @@ let queue_length sim = Heap.size sim.q
 
 type periodic = { mutable current : handle option; mutable stopped : bool }
 
-let schedule_every sim ?start span fn =
+let schedule_every sim ?start ?label span fn =
   if span <= 0 then invalid_arg "Sim.schedule_every: period must be positive";
+  let fn =
+    match label with
+    | None -> fn
+    | Some l ->
+        (* resolved once for the whole recurrence *)
+        let c = Tm.counter ("sim.events." ^ l) in
+        fun () ->
+          Tm.incr c;
+          fn ()
+  in
   let p = { current = None; stopped = false } in
   let rec fire () =
     if not p.stopped then begin

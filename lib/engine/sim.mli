@@ -5,7 +5,16 @@
     instant), which keeps runs fully deterministic. Cancelled events are
     tracked exactly ({!pending} reports only live events) and their
     tombstones are reaped in bulk once they outnumber live events, so
-    periodic-timer churn does not bloat the queue. *)
+    periodic-timer churn does not bloat the queue.
+
+    The event loop feeds the process-global telemetry registry
+    ({!Psbox_telemetry.Metrics}): [sim.events_fired], [sim.events_scheduled],
+    [sim.events_cancelled], [sim.queue_depth]/[sim.queue_depth_max] and the
+    tombstone-reap counters [sim.reap_passes]/[sim.tombstones_reaped].
+    Scheduling calls accept an optional [?label] that additionally counts
+    fires of that source under [sim.events.<label>]. While a trace is being
+    recorded, the loop also emits a decimated queue-depth timeline on the
+    ["engine.sim"] track. *)
 
 type t
 
@@ -17,12 +26,14 @@ val create : unit -> t
 val now : t -> Time.t
 (** The current simulated time. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
-(** [schedule_at sim t f] runs [f] when the clock reaches [t].
+val schedule_at : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at sim t f] runs [f] when the clock reaches [t]. [?label]
+    counts the fire under the telemetry counter [sim.events.<label>]; the
+    counter is resolved per call, so label cold paths only.
 
     @raise Invalid_argument if [t] is in the past. *)
 
-val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+val schedule_after : t -> ?label:string -> Time.span -> (unit -> unit) -> handle
 (** [schedule_after sim d f] runs [f] after [d] has elapsed. *)
 
 val cancel : handle -> unit
@@ -57,9 +68,13 @@ val queue_length : t -> int
 type periodic
 (** A recurring event, usable to stop the recurrence. *)
 
-val schedule_every : t -> ?start:Time.t -> Time.span -> (unit -> unit) -> periodic
+val schedule_every :
+  t -> ?start:Time.t -> ?label:string -> Time.span -> (unit -> unit) -> periodic
 (** [schedule_every sim ~start span f] runs [f] at [start] (default: one
     period from now) and every [span] thereafter until {!cancel_every}.
+    [?label] counts fires under [sim.events.<label>]; the counter is
+    resolved once for the whole recurrence, so labelling periodics is free
+    on the hot path.
     @raise Invalid_argument if [span] is not positive. *)
 
 val cancel_every : periodic -> unit

@@ -23,9 +23,18 @@ let open_span tr t tag =
     invalid_arg "Trace.open_span: tag already open";
   tr.live <- (t, tag) :: tr.live
 
-let close_span tr t tag =
+let close_span ?pp tr t tag =
   let rec take acc = function
-    | [] -> raise Not_found
+    | [] ->
+        let shown =
+          match pp with
+          | Some pp -> Format.asprintf "%a" pp tag
+          | None -> "<no printer given>"
+        in
+        invalid_arg
+          (Printf.sprintf
+             "Trace.close_span: no open span with tag %s (%d span(s) open)"
+             shown (List.length tr.live))
     | (start, tag') :: rest when tag' = tag ->
         tr.completed <- { start; stop = t; tag } :: tr.completed;
         tr.live <- List.rev_append acc rest
@@ -34,6 +43,9 @@ let close_span tr t tag =
   take [] tr.live
 
 let is_open tr tag = List.exists (fun (_, tag') -> tag' = tag) tr.live
+
+let open_since tr tag =
+  List.find_map (fun (t, tag') -> if tag' = tag then Some t else None) tr.live
 
 let close_all tr t =
   List.iter

@@ -28,11 +28,19 @@ val open_span : 'a spans -> Time.t -> 'a -> unit
 (** Begin a span with tag ['a]. Multiple spans with distinct tags may be open
     simultaneously; opening a tag that is already open is an error. *)
 
-val close_span : 'a spans -> Time.t -> 'a -> unit
-(** Close the open span carrying this tag. @raise Not_found if no such span
-    is open. *)
+val close_span :
+  ?pp:(Format.formatter -> 'a -> unit) -> 'a spans -> Time.t -> 'a -> unit
+(** Close the open span carrying this tag.
+
+    @raise Invalid_argument if no span with this tag is open. The message
+    names the offending tag when a [?pp] printer is supplied (and says so
+    when one is not), plus how many spans are currently open — pass [?pp]
+    wherever a mismatched close would otherwise be hard to attribute. *)
 
 val is_open : 'a spans -> 'a -> bool
+
+val open_since : 'a spans -> 'a -> Time.t option
+(** Start time of the live span carrying this tag, if one is open. *)
 
 val close_all : 'a spans -> Time.t -> unit
 (** Close every still-open span at the given instant. *)

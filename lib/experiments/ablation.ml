@@ -185,8 +185,8 @@ let run ?(seed = 31) () =
           Report.table
             ~headers:[ "virtualization"; "observation gap" ]
             [
-              [ "ON"; Printf.sprintf "%.1f%%" vs.ab_gap_on_pct ];
-              [ "OFF (ablated)"; Printf.sprintf "%.1f%%" vs.ab_gap_off_pct ];
+              [ "ON"; Common.fmt_pct1 vs.ab_gap_on_pct ];
+              [ "OFF (ablated)"; Common.fmt_pct1 vs.ab_gap_off_pct ];
             ];
           Report.Text
             "3. Dispatch window: command overlap (the Fig 3b blur) needs an \
@@ -194,8 +194,7 @@ let run ?(seed = 31) () =
           Report.table
             ~headers:[ "window"; "overlap of cmd1/cmd2" ]
             (List.map
-               (fun (w, ms) ->
-                 [ string_of_int w; Printf.sprintf "%.1f ms" ms ])
+               (fun (w, ms) -> [ string_of_int w; Common.fmt_ms ms ])
                win);
         ];
     }

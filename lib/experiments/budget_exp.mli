@@ -8,6 +8,10 @@ type result = {
   neighbor_delta_pct : float;
       (** uncapped co-runner's completion-time change, percent *)
   sweep : (float * float * float) list;  (** cap W, measured W, units/s *)
+  multi_rail : (float option * float * float * float) list;
+      (** cap W ([None] = uncapped), measured W, units/s, throttle — the
+          CPU+GPU+WiFi co-run where one cap drives all three subsystem
+          actuators *)
 }
 
 val run : ?seed:int -> unit -> Report.t * result

@@ -64,3 +64,23 @@ let attributed_mj result ~app =
 
 let pct reference x =
   if reference = 0.0 then 0.0 else 100.0 *. (x -. reference) /. reference
+
+(* Value formatters shared by every experiment, so the reports agree on
+   precision and unit spelling. *)
+
+let fmt_w ?(dp = 2) w = Printf.sprintf "%.*f W" dp w
+let fmt_s s = Printf.sprintf "%.3f s" s
+
+let fmt_ms ?(dp = 1) ?(tight = false) ms =
+  Printf.sprintf "%.*f" dp ms ^ if tight then "ms" else " ms"
+
+let fmt_us us = Printf.sprintf "%.0f us" us
+let fmt_us_delta us = Printf.sprintf "%+.0f us" us
+let fmt_mj mj = Printf.sprintf "%.0f mJ" mj
+let fmt_pct1 p = Printf.sprintf "%.1f%%" p
+let fmt_pct0_signed p = Printf.sprintf "%+.0f%%" p
+let fmt_ratio r = Printf.sprintf "%.2f" r
+let fmt_rate ~unit r = Printf.sprintf "%.0f %s/s" r unit
+
+let fmt_attributed ~alone mj =
+  Printf.sprintf "%s (%s)" (Report.fmt_mj mj) (Report.fmt_pct (pct alone mj))

@@ -166,31 +166,35 @@ let run ?(seed = 5) () =
         [
           Report.Text
             (Printf.sprintf
-               "(a) spatial concurrency: 1 instance %.2f W; 2 instances %.2f \
-                W; naive 2x extrapolation %.2f W (off by %+.0f%%)"
-               a.one_instance_w a.two_instances_w a.doubled_w
-               (Common.pct a.two_instances_w a.doubled_w));
+               "(a) spatial concurrency: 1 instance %s; 2 instances %s; \
+                naive 2x extrapolation %s (off by %s)"
+               (Common.fmt_w a.one_instance_w)
+               (Common.fmt_w a.two_instances_w)
+               (Common.fmt_w a.doubled_w)
+               (Common.fmt_pct0_signed (Common.pct a.two_instances_w a.doubled_w)));
           Report.chart ~label:"(a) total CPU power" sa;
           Report.Text
             (Printf.sprintf
                "(b) blurry request boundary: commands 2 and 3 are the same \
-                type, but command 2 overlaps command 1 for %.1f ms — their \
-                power impacts entangle" (b.overlap_s *. 1e3));
+                type, but command 2 overlaps command 1 for %s — their \
+                power impacts entangle" (Common.fmt_ms (b.overlap_s *. 1e3)));
           Report.table
             ~headers:[ "cmd"; "kind"; "start"; "finish" ]
             (List.map
                (fun (id, kind, s, f) ->
-                 [ string_of_int id; kind; Printf.sprintf "%.2fms" (s *. 1e3);
-                   Printf.sprintf "%.2fms" (f *. 1e3) ])
+                 [ string_of_int id; kind;
+                   Common.fmt_ms ~dp:2 ~tight:true (s *. 1e3);
+                   Common.fmt_ms ~dp:2 ~tight:true (f *. 1e3) ])
                b.commands);
           Report.chart ~label:"(b) GPU power" sb;
           Report.Text
             (Printf.sprintf
-               "(c) lingering power state: the same burst costs %.0f mJ \
-                after idle vs %.0f mJ right after a busy period (peaks %.2f \
-                vs %.2f W)"
-               c.after_idle_mj c.after_busy_mj c.after_idle_peak_w
-               c.after_busy_peak_w);
+               "(c) lingering power state: the same burst costs %s after \
+                idle vs %s right after a busy period (peaks %s vs %s)"
+               (Common.fmt_mj c.after_idle_mj)
+               (Common.fmt_mj c.after_busy_mj)
+               (Common.fmt_ratio c.after_idle_peak_w)
+               (Common.fmt_w c.after_busy_peak_w));
           Report.chart ~label:"(c) CPU power of the probe burst" sc;
         ];
     }

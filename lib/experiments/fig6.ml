@@ -209,10 +209,8 @@ let run ?(seed = 1) () =
               row.row_hw;
               Printf.sprintf "%s %s" row.row_app sc.sc_label;
               Report.fmt_mj row.row_alone_mj;
-              Printf.sprintf "%s (%s)" (Report.fmt_mj sc.sc_psbox_mj)
-                (Report.fmt_pct (Common.pct row.row_alone_mj sc.sc_psbox_mj));
-              Printf.sprintf "%s (%s)" (Report.fmt_mj sc.sc_prior_mj)
-                (Report.fmt_pct (Common.pct row.row_alone_mj sc.sc_prior_mj));
+              Common.fmt_attributed ~alone:row.row_alone_mj sc.sc_psbox_mj;
+              Common.fmt_attributed ~alone:row.row_alone_mj sc.sc_prior_mj;
             ])
           row.row_scenarios)
       rows

@@ -162,8 +162,8 @@ let dsp_part ~seed ~with_psbox =
              (if c.Accel.app = dgemm.System.app_id then "dgemm*"
               else if c.Accel.app = sgemm.System.app_id then "sgemm"
               else "monte");
-             Printf.sprintf "%.1fms" (Time.to_ms_f (s - t0));
-             Printf.sprintf "%.1fms" (Time.to_ms_f (f - t0));
+             Common.fmt_ms ~tight:true (Time.to_ms_f (s - t0));
+             Common.fmt_ms ~tight:true (Time.to_ms_f (f - t0));
            ])
   in
   let overlap = commands_overlap cmds ~main_app:dgemm.System.app_id in
@@ -209,7 +209,7 @@ let run ?(seed = 9) () =
             txt
               (Printf.sprintf
                  "(b) w/ psbox: calib3d* runs in spatial balloons (#=forced \
-                  idle, %.1f ms of core time)" forced_idle);
+                  idle, %s of core time)" (Common.fmt_ms forced_idle));
           ]
         @ List.map txt strips_w
         @ [ Report.chart ~label:"" [ cpu_series_w ] ]

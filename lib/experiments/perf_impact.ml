@@ -140,10 +140,10 @@ let run ?(seed = 2) () =
       (fun r ->
         [
           r.p_hw;
-          Printf.sprintf "%.0f us" r.p_lat_before_us;
-          Printf.sprintf "%.0f us" r.p_lat_after_us;
-          Printf.sprintf "%+.0f us" (r.p_lat_after_us -. r.p_lat_before_us);
-          Printf.sprintf "%.1f%%" r.p_total_loss_pct;
+          Common.fmt_us r.p_lat_before_us;
+          Common.fmt_us r.p_lat_after_us;
+          Common.fmt_us_delta (r.p_lat_after_us -. r.p_lat_before_us);
+          Common.fmt_pct1 r.p_total_loss_pct;
         ])
       results
   in

@@ -201,7 +201,7 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
     dev.util_mark_accum <- dev.active_accum;
     util
   in
-  let d = Dvfs.create sim ~opps ~governor ~get_util in
+  let d = Dvfs.create sim ~name:dev.name ~opps ~governor ~get_util () in
   dev.dvfs <- Some d;
   ignore
     (Bus.subscribe (Dvfs.changes d) (fun _ ->

@@ -90,7 +90,7 @@ let create sim ?retention ?(name = "cpu") ?(opps = default_opps)
     cpu.util_mark_accum <- total;
     util
   in
-  let d = Dvfs.create sim ~opps ~governor ~get_util in
+  let d = Dvfs.create sim ~name:"cpu" ~opps ~governor ~get_util () in
   cpu.dvfs <- Some d;
   ignore (Bus.subscribe (Dvfs.changes d) (fun _ -> update_power cpu));
   update_power cpu;

@@ -1,4 +1,6 @@
 open Psbox_engine
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
 
 type opp = { freq_mhz : int; core_w : float; uncore_w : float }
 
@@ -15,6 +17,8 @@ type t = {
   governor : governor;
   get_util : unit -> float;
   changes : change Bus.t;
+  name : string;
+  tm_transitions : Tm.counter;
   mutable index : int;
   mutable ceiling : int;
   mutable tick : Sim.periodic option;
@@ -27,6 +31,16 @@ let set_index d i =
   if i <> d.index then begin
     let before = d.index in
     d.index <- i;
+    Tm.incr d.tm_transitions;
+    (if Tt.recording () then begin
+       let now = Sim.now d.sim in
+       let freq = float_of_int d.opps.(i).freq_mhz in
+       Tt.instant ~track:"hw.dvfs" ~lane:d.name
+         ~name:(Printf.sprintf "%d MHz" d.opps.(i).freq_mhz)
+         ~args:[ ("freq_mhz", freq); ("index", float_of_int i) ]
+         now;
+       Tt.sample ~track:"hw.dvfs" ~name:(d.name ^ ".freq_mhz") now freq
+     end);
     Bus.publish d.changes
       { at = Sim.now d.sim; index_before = before; index_after = i; opp = d.opps.(i) }
   end
@@ -40,19 +54,25 @@ let governor_tick d up_threshold () =
     end
   end
 
-let create sim ~opps ~governor ~get_util =
+let create sim ?(name = "dvfs") ~opps ~governor ~get_util () =
   if Array.length opps = 0 then invalid_arg "Dvfs.create: no OPPs";
   let index = match governor with Performance -> Array.length opps - 1 | Ondemand _ | Userspace -> 0 in
   let d =
-    { sim; opps; governor; get_util; changes = Bus.create (); index;
-      ceiling = Array.length opps - 1; tick = None;
+    { sim; opps; governor; get_util; changes = Bus.create (); name;
+      tm_transitions = Tm.counter (Printf.sprintf "dvfs.%s.transitions" name);
+      index; ceiling = Array.length opps - 1; tick = None;
       stopped = false; frozen = false }
   in
   (match governor with
   | Ondemand { up_threshold; sampling } ->
-      d.tick <- Some (Sim.schedule_every sim sampling (governor_tick d up_threshold))
+      d.tick <-
+        Some
+          (Sim.schedule_every sim ~label:("dvfs." ^ name) sampling
+             (governor_tick d up_threshold))
   | Performance | Userspace -> ());
   d
+
+let name d = d.name
 
 let opp_index d = d.index
 let current d = d.opps.(d.index)

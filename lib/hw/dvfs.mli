@@ -36,16 +36,25 @@ type t
 
 val create :
   Psbox_engine.Sim.t ->
+  ?name:string ->
   opps:opp array ->
   governor:governor ->
   get_util:(unit -> float) ->
+  unit ->
   t
 (** [get_util] must return the device utilization (0..1) accumulated since
     the previous call; the governor samples it on a {!Psbox_engine.Sim}
     periodic timer. Whenever the OPP index moves, a {!change} is published
     on {!changes} (the owner subscribes to update its rail). The initial
     OPP is the lowest (or highest for [Performance]); setting it publishes
-    nothing. *)
+    nothing.
+
+    [?name] (default ["dvfs"]) labels the instance in telemetry: OPP moves
+    count under [dvfs.<name>.transitions], the governor's sampling tick
+    under [sim.events.dvfs.<name>], and traced transitions appear as a lane
+    of the ["hw.dvfs"] track with a [<name>.freq_mhz] counter timeline. *)
+
+val name : t -> string
 
 val changes : t -> change Psbox_engine.Bus.t
 (** The OPP-change bus. Subscribers run synchronously, in subscription

@@ -1,5 +1,7 @@
 open Psbox_engine
 module Accel = Psbox_hw.Accel
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
 
 type policy = Fair | Round_robin
 type buffering = Lock_requests | Per_process_queues
@@ -49,6 +51,13 @@ type t = {
   gates : (int, gate) Hashtbl.t;
   mutable gate_pump : (Time.t * Sim.handle) option;
       (* pending wakeup for the earliest gated backlogged app *)
+  (* telemetry: per-device handles resolved once at create; the trace
+     track is "kernel.accel.<device>" with one lane per app *)
+  tm_track : string;
+  tm_dispatched : Tm.counter;
+  tm_completed : Tm.counter;
+  tm_lat : Tm.histogram;
+  tm_gate_wakeups : Tm.counter;
 }
 
 let device d = d.dev
@@ -189,6 +198,8 @@ let dispatch d app =
   let p = Queue.pop q in
   let lat = Time.to_us_f (Sim.now d.sim - p.p_enqueued) in
   d.latencies <- (app, lat) :: d.latencies;
+  Tm.incr d.tm_dispatched;
+  Tm.observe d.tm_lat lat;
   Hashtbl.replace d.callbacks p.p_cmd.Accel.id p;
   charge_gate d app p.p_cmd;
   Accel.submit d.dev p.p_cmd;
@@ -256,6 +267,7 @@ and arm_gate_pump d =
               ( t,
                 Sim.schedule_at d.sim t (fun () ->
                     d.gate_pump <- None;
+                    Tm.incr d.tm_gate_wakeups;
                     pump d) )
       | None ->
           d.gate_pump <-
@@ -263,6 +275,7 @@ and arm_gate_pump d =
               ( t,
                 Sim.schedule_at d.sim t (fun () ->
                     d.gate_pump <- None;
+                    Tm.incr d.tm_gate_wakeups;
                     pump d) ))
 
 and check_drain d =
@@ -294,6 +307,14 @@ and exit_serve d =
   (match d.interval_open with
   | Some t0 ->
       d.intervals <- (t0, Sim.now d.sim) :: d.intervals;
+      (if Tt.recording () then
+         let name =
+           match d.sandboxed with
+           | Some a -> "serve app" ^ string_of_int a
+           | None -> "serve"
+         in
+         Tt.span ~track:d.tm_track ~lane:"balloon" ~name ~start:t0
+           ~stop:(Sim.now d.sim) ());
       d.interval_open <- None
   | None -> ());
   d.on_stop ();
@@ -314,6 +335,15 @@ let on_device_complete d cmd =
   | Some p ->
       Hashtbl.remove d.callbacks cmd.Accel.id;
       d.log <- cmd :: d.log;
+      Tm.incr d.tm_completed;
+      (* guard keeps the lane-string allocation off the untraced path *)
+      (if Tt.recording () then
+         match (cmd.Accel.started_at, cmd.Accel.finished_at) with
+         | Some t0, Some t1 ->
+             Tt.span ~track:d.tm_track
+               ~lane:("app" ^ string_of_int cmd.Accel.app)
+               ~name:cmd.Accel.kind ~start:t0 ~stop:t1 ()
+         | _ -> ());
       Hashtbl.replace d.done_count cmd.Accel.app (completed d ~app:cmd.Accel.app + 1);
       (* per-command billing, except for the sandboxed app whose serve
          windows are billed wholesale *)
@@ -369,6 +399,17 @@ let create sim dev ?(policy = Fair) ?(buffering = Per_process_queues)
       share_bus = Bus.create ();
       gates = Hashtbl.create 4;
       gate_pump = None;
+      tm_track = "kernel.accel." ^ Accel.name dev;
+      tm_dispatched =
+        Tm.counter (Printf.sprintf "accel.%s.dispatched" (Accel.name dev));
+      tm_completed =
+        Tm.counter (Printf.sprintf "accel.%s.completed" (Accel.name dev));
+      tm_lat =
+        Tm.histogram
+          (Printf.sprintf "accel.%s.dispatch_latency_us" (Accel.name dev))
+          ~edges:[| 10.; 100.; 1_000.; 10_000.; 100_000. |];
+      tm_gate_wakeups =
+        Tm.counter (Printf.sprintf "accel.%s.gate_wakeups" (Accel.name dev));
     }
   in
   Accel.set_on_complete dev (fun cmd -> on_device_complete d cmd);
@@ -384,6 +425,18 @@ let set_rate d ~app limit =
       (match Hashtbl.find_opt d.gates app with
       | Some g -> g.g_rate <- r
       | None -> Hashtbl.add d.gates app { g_rate = r; g_next = Time.zero }));
+  (if Tt.recording () then
+     let now = Sim.now d.sim in
+     match limit with
+     | Some r ->
+         Tt.instant ~track:d.tm_track ~lane:"gate"
+           ~name:("set-rate app" ^ string_of_int app)
+           ~args:[ ("units_per_s", r) ]
+           now
+     | None ->
+         Tt.instant ~track:d.tm_track ~lane:"gate"
+           ~name:("clear-rate app" ^ string_of_int app)
+           now);
   pump d
 
 let rate d ~app =

@@ -1,5 +1,9 @@
 open Psbox_engine
 module Wifi = Psbox_hw.Wifi
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
+
+let net_track = "kernel.net"
 
 type phase = Normal | Drain_others | Serve | Drain_psbox
 
@@ -40,6 +44,13 @@ type t = {
   share_bus : share_change Bus.t;
   gates : (int, gate) Hashtbl.t;
   mutable gate_pump : (Time.t * Sim.handle) option;
+  (* telemetry handles, resolved once at create *)
+  tm_tx : Tm.counter;
+  tm_rx : Tm.counter;
+  tm_tx_bytes : Tm.counter;
+  tm_rx_bytes : Tm.counter;
+  tm_lat : Tm.histogram;
+  tm_gate_wakeups : Tm.counter;
 }
 
 let nic d = d.nic
@@ -141,6 +152,7 @@ let dispatch d app =
   let p = Queue.pop q in
   let lat = Time.to_us_f (Sim.now d.sim - p.p_enqueued) in
   d.latencies <- (app, lat) :: d.latencies;
+  Tm.observe d.tm_lat lat;
   Hashtbl.replace d.callbacks p.p_pkt.Wifi.id p;
   charge_gate d app p.p_pkt;
   Wifi.transmit d.nic p.p_pkt;
@@ -202,6 +214,7 @@ and arm_gate_pump d =
             ( t,
               Sim.schedule_at d.sim t (fun () ->
                   d.gate_pump <- None;
+                  Tm.incr d.tm_gate_wakeups;
                   pump d) )
       in
       match d.gate_pump with
@@ -251,6 +264,13 @@ and exit_serve d =
   (match d.interval_open with
   | Some t0 ->
       d.intervals <- (t0, now) :: d.intervals;
+      (if Tt.recording () then
+         let name =
+           match d.sandboxed with
+           | Some a -> "serve app" ^ string_of_int a
+           | None -> "serve"
+         in
+         Tt.span ~track:net_track ~lane:"balloon" ~name ~start:t0 ~stop:now ());
       d.interval_open <- None
   | None -> ());
   d.on_stop ();
@@ -271,6 +291,22 @@ and exit_serve d =
 
 let on_nic_sent d pkt =
   d.pkt_log <- pkt :: d.pkt_log;
+  (if pkt.Wifi.dir = `Tx then begin
+     Tm.incr d.tm_tx;
+     Tm.add d.tm_tx_bytes (float_of_int pkt.Wifi.bytes)
+   end
+   else begin
+     Tm.incr d.tm_rx;
+     Tm.add d.tm_rx_bytes (float_of_int pkt.Wifi.bytes)
+   end);
+  (if Tt.recording () then
+     let name = if pkt.Wifi.dir = `Tx then "tx" else "rx" in
+     let lane = "app" ^ string_of_int pkt.Wifi.app in
+     let args = [ ("bytes", float_of_int pkt.Wifi.bytes) ] in
+     match (pkt.Wifi.air_start, pkt.Wifi.air_end) with
+     | Some t0, Some t1 ->
+         Tt.span ~track:net_track ~lane ~name ~args ~start:t0 ~stop:t1 ()
+     | _ -> Tt.instant ~track:net_track ~lane ~name ~args (Sim.now d.sim));
   publish_share d pkt.Wifi.app;
   (match Hashtbl.find_opt d.callbacks pkt.Wifi.id with
   | Some p ->
@@ -312,6 +348,14 @@ let create sim nic ?(window = 1) () =
       share_bus = Bus.create ();
       gates = Hashtbl.create 4;
       gate_pump = None;
+      tm_tx = Tm.counter "net.tx_packets";
+      tm_rx = Tm.counter "net.rx_packets";
+      tm_tx_bytes = Tm.counter "net.tx_bytes";
+      tm_rx_bytes = Tm.counter "net.rx_bytes";
+      tm_lat =
+        Tm.histogram "net.dispatch_latency_us"
+          ~edges:[| 10.; 100.; 1_000.; 10_000.; 100_000. |];
+      tm_gate_wakeups = Tm.counter "net.gate_wakeups";
     }
   in
   Wifi.set_on_sent nic (fun pkt -> on_nic_sent d pkt);
@@ -327,6 +371,18 @@ let set_rate d ~app limit =
       (match Hashtbl.find_opt d.gates app with
       | Some g -> g.g_rate <- r
       | None -> Hashtbl.add d.gates app { g_rate = r; g_next = Time.zero }));
+  (if Tt.recording () then
+     let now = Sim.now d.sim in
+     match limit with
+     | Some r ->
+         Tt.instant ~track:net_track ~lane:"gate"
+           ~name:("set-rate app" ^ string_of_int app)
+           ~args:[ ("bytes_per_s", r) ]
+           now
+     | None ->
+         Tt.instant ~track:net_track ~lane:"gate"
+           ~name:("clear-rate app" ^ string_of_int app)
+           now);
   pump d
 
 let rate d ~app =

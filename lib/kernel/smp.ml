@@ -1,4 +1,18 @@
 open Psbox_engine
+module Tm = Psbox_telemetry.Metrics
+module Tt = Psbox_telemetry.Tracing
+
+(* Telemetry track/lane naming: each per-core scheduling timeline is a lane
+   of the "kernel.cfs" track; span names are the paper's app identities. *)
+let cfs_track = "kernel.cfs"
+
+let app_label = function
+  | -1 -> "idle"
+  | -2 -> "forced-idle"
+  | a -> "app" ^ string_of_int a
+
+let pp_span_tag fmt (core, app) =
+  Format.fprintf fmt "(core %d, %s)" core (app_label app)
 
 type config = {
   tick : Time.span;
@@ -75,6 +89,14 @@ type t = {
   share_counts : (int, int) Hashtbl.t; (* app -> cores currently running it *)
   quotas : (int, quota_state) Hashtbl.t;
   mutable quota_tick : Sim.periodic option;
+  (* telemetry handles, resolved once at create; lanes precomputed so the
+     tracing hot path allocates nothing when recording is off *)
+  tm_switch : Tm.counter;
+  tm_core_switch : Tm.counter array;
+  tm_throttles : Tm.counter;
+  tm_unthrottles : Tm.counter;
+  tm_wake_lat : Tm.histogram;
+  tm_lanes : string array;
 }
 
 let create sim cpu ?(config = default_config) () =
@@ -100,6 +122,16 @@ let create sim cpu ?(config = default_config) () =
     share_counts = Hashtbl.create 16;
     quotas = Hashtbl.create 8;
     quota_tick = None;
+    tm_switch = Tm.counter "smp.ctx_switches";
+    tm_core_switch =
+      Array.init n (fun core ->
+          Tm.counter (Printf.sprintf "smp.core%d.ctx_switches" core));
+    tm_throttles = Tm.counter "smp.throttles";
+    tm_unthrottles = Tm.counter "smp.unthrottles";
+    tm_wake_lat =
+      Tm.histogram "smp.wakeup_latency_us"
+        ~edges:[| 1.; 10.; 100.; 1_000.; 10_000. |];
+    tm_lanes = Array.init n (Printf.sprintf "core%d");
   }
 
 let cpu smp = smp.cpu
@@ -158,7 +190,13 @@ let set_span smp core tag =
   | old, _ ->
       (match old with
       | Some a ->
-          Trace.close_span smp.trace now (core, a);
+          (if Tt.recording () then
+             match Trace.open_since smp.trace (core, a) with
+             | Some t0 ->
+                 Tt.span ~track:cfs_track ~lane:smp.tm_lanes.(core)
+                   ~name:(app_label a) ~start:t0 ~stop:now ()
+             | None -> ());
+          Trace.close_span ~pp:pp_span_tag smp.trace now (core, a);
           note_share smp a (-1)
       | None -> ());
       (match tag with
@@ -166,6 +204,8 @@ let set_span smp core tag =
           Trace.open_span smp.trace now (core, b);
           note_share smp b 1
       | None -> ());
+      Tm.incr smp.tm_switch;
+      Tm.incr smp.tm_core_switch.(core);
       smp.span_tag.(core) <- tag
 
 (* ------------------------------------------------------------------ *)
@@ -271,6 +311,7 @@ let record_latency smp t =
   if t.Task.last_wake >= 0 then begin
     let lat = Time.to_us_f (Sim.now smp.sim - t.Task.last_wake) in
     smp.latencies <- (t.Task.app, lat) :: smp.latencies;
+    Tm.observe smp.tm_wake_lat lat;
     t.Task.last_wake <- -1
   end
 
@@ -495,6 +536,9 @@ and cosched_out smp ?(local = 0) b =
   if b.b_metering then begin
     b.b_metering <- false;
     b.b_intervals <- (b.b_started, Sim.now smp.sim) :: b.b_intervals;
+    if Tt.recording () then
+      Tt.span ~track:cfs_track ~lane:"balloon" ~name:(app_label b.b_app)
+        ~start:b.b_started ~stop:(Sim.now smp.sim) ();
     b.b_on_stop ()
   end;
   (* loan redistribution: entities evenly split the period's total loan *)
@@ -580,6 +624,11 @@ and inner_rotate smp core =
    queue). Sandboxed apps are exempt (see [entity_throttled]). *)
 let throttle smp app q =
   q.q_throttled <- true;
+  Tm.incr smp.tm_throttles;
+  if Tt.recording () then
+    Tt.instant ~track:cfs_track ~lane:"quota"
+      ~name:("throttle " ^ app_label app)
+      (Sim.now smp.sim);
   for core = 0 to cores smp - 1 do
     let rq = smp.rqs.(core) in
     List.iter
@@ -638,7 +687,7 @@ let start smp =
       Some
         (Sim.schedule_every smp.sim
            ~start:(Sim.now smp.sim + smp.cfg.tick + offset)
-           smp.cfg.tick
+           ~label:"smp.tick" smp.cfg.tick
            (fun () -> tick smp core));
     resched smp core
   done
@@ -753,6 +802,11 @@ let spawn smp t =
 
 let unthrottle smp app q =
   q.q_throttled <- false;
+  Tm.incr smp.tm_unthrottles;
+  if Tt.recording () then
+    Tt.instant ~track:cfs_track ~lane:"quota"
+      ~name:("unthrottle " ^ app_label app)
+      (Sim.now smp.sim);
   List.iter
     (fun t ->
       if Task.is_runnable t then
@@ -783,7 +837,9 @@ let ensure_quota_tick smp =
   | Some _ -> ()
   | None ->
       smp.quota_tick <-
-        Some (Sim.schedule_every smp.sim smp.cfg.quota_period (quota_refill smp))
+        Some
+          (Sim.schedule_every smp.sim ~label:"smp.quota_refill"
+             smp.cfg.quota_period (quota_refill smp))
 
 let set_quota smp ~app limit =
   match limit with

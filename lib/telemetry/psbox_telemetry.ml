@@ -1,0 +1,527 @@
+let on = ref true
+let enabled () = !on
+let set_enabled b = on := b
+
+(* Values render as integers when they are integers, [%g] otherwise, so
+   snapshots never depend on accumulated floating-point noise in the
+   formatting path itself. *)
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+module Metrics = struct
+  type counter = { mutable c : float }
+  type gauge = { mutable g : float }
+
+  type histogram = {
+    edges : float array; (* strictly increasing upper bounds *)
+    counts : int array; (* length = edges + 1; last is overflow *)
+    mutable sum : float;
+  }
+
+  type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+  let kind_name = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let clash name m =
+    invalid_arg
+      (Printf.sprintf "Telemetry.Metrics: %S is already a %s" name
+         (kind_name m))
+
+  let counter name =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) -> c
+    | Some m -> clash name m
+    | None ->
+        let c = { c = 0.0 } in
+        Hashtbl.replace registry name (Counter c);
+        c
+
+  let incr c = if !on then c.c <- c.c +. 1.0
+  let add c v = if !on then c.c <- c.c +. v
+  let counter_value c = c.c
+
+  let gauge name =
+    match Hashtbl.find_opt registry name with
+    | Some (Gauge g) -> g
+    | Some m -> clash name m
+    | None ->
+        let g = { g = 0.0 } in
+        Hashtbl.replace registry name (Gauge g);
+        g
+
+  let set g v = if !on then g.g <- v
+  let set_max g v = if !on && v > g.g then g.g <- v
+  let gauge_value g = g.g
+
+  let histogram name ~edges =
+    if Array.length edges = 0 then
+      invalid_arg "Telemetry.Metrics.histogram: no bucket edges";
+    for i = 1 to Array.length edges - 1 do
+      if edges.(i) <= edges.(i - 1) then
+        invalid_arg "Telemetry.Metrics.histogram: edges must increase"
+    done;
+    match Hashtbl.find_opt registry name with
+    | Some (Histogram h) ->
+        if h.edges <> edges then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.Metrics.histogram: %S exists with different edges"
+               name);
+        h
+    | Some m -> clash name m
+    | None ->
+        let h =
+          {
+            edges = Array.copy edges;
+            counts = Array.make (Array.length edges + 1) 0;
+            sum = 0.0;
+          }
+        in
+        Hashtbl.replace registry name (Histogram h);
+        h
+
+  let observe h v =
+    if !on then begin
+      let n = Array.length h.edges in
+      let i = ref 0 in
+      while !i < n && v > h.edges.(!i) do
+        Stdlib.incr i
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.sum <- h.sum +. v
+    end
+
+  let bucket_counts h = Array.copy h.counts
+
+  let sorted_metrics () =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let rows_of name = function
+    | Counter c -> [ (name, fmt_value c.c) ]
+    | Gauge g -> [ (name, fmt_value g.g) ]
+    | Histogram h ->
+        let n = Array.length h.edges in
+        let cum = ref 0 in
+        let buckets =
+          List.init (n + 1) (fun i ->
+              cum := !cum + h.counts.(i);
+              let le = if i = n then "+inf" else Printf.sprintf "%g" h.edges.(i) in
+              (Printf.sprintf "%s{le=%s}" name le, string_of_int !cum))
+        in
+        buckets @ [ (name ^ ".sum", fmt_value h.sum) ]
+
+  let snapshot () =
+    sorted_metrics () |> List.concat_map (fun (name, m) -> rows_of name m)
+
+  let values () =
+    sorted_metrics ()
+    |> List.filter_map (fun (name, m) ->
+           match m with
+           | Counter c -> Some (name, c.c)
+           | Gauge g -> Some (name, g.g)
+           | Histogram _ -> None)
+
+  let find name =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) -> Some c.c
+    | Some (Gauge g) -> Some g.g
+    | Some (Histogram _) | None -> None
+
+  let dump fmt () =
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "%s %s@\n" name v)
+      (snapshot ())
+
+  let dump_string () = Format.asprintf "%a" dump ()
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | Counter c -> c.c <- 0.0
+        | Gauge g -> g.g <- 0.0
+        | Histogram h ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.sum <- 0.0)
+      registry
+end
+
+module Tracing = struct
+  type kind = Span | Instant | Sample
+
+  type event = {
+    track : string;
+    lane : string;
+    kind : kind;
+    name : string;
+    ts : int;
+    dur : int;
+    args : (string * float) list;
+  }
+
+  let armed = ref false
+  let buf = ref [] (* newest first *)
+  let n = ref 0
+  let n_dropped = ref 0
+  let limit = ref 2_000_000
+
+  let start () = armed := true
+  let stop () = armed := false
+  let recording () = !armed && !on
+
+  let clear () =
+    buf := [];
+    n := 0;
+    n_dropped := 0
+
+  let record ev =
+    if !n >= !limit then Stdlib.incr n_dropped
+    else begin
+      buf := ev :: !buf;
+      Stdlib.incr n
+    end
+
+  let span ~track ~lane ~name ?(args = []) ~start ~stop () =
+    if recording () then
+      record { track; lane; kind = Span; name; ts = start; dur = stop - start; args }
+
+  let instant ~track ~lane ~name ?(args = []) ts =
+    if recording () then
+      record { track; lane; kind = Instant; name; ts; dur = 0; args }
+
+  let sample ~track ~name ts v =
+    if recording () then
+      record
+        {
+          track;
+          lane = "";
+          kind = Sample;
+          name;
+          ts;
+          dur = 0;
+          args = [ ("value", v) ];
+        }
+
+  let events () = List.rev !buf
+  let length () = !n
+  let dropped () = !n_dropped
+
+  let set_limit l =
+    if l < 0 then invalid_arg "Telemetry.Tracing.set_limit";
+    limit := l
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Err of string
+
+  let parse s =
+    let len = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Err (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let n = String.length word in
+      if !pos + n <= len && String.sub s !pos n = word then begin
+        pos := !pos + n;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= len then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let cp =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* UTF-8 encode the BMP code point *)
+              if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+          | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let slice = String.sub s start (!pos - start) in
+      match float_of_string_opt slice with
+      | Some f -> Num f
+      | None -> fail (Printf.sprintf "bad number %S" slice)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> len then Error (Printf.sprintf "trailing data at offset %d" !pos)
+      else Ok v
+    with Err msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+module Chrome_trace = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* ns -> us with ns precision; chrome accepts fractional microseconds *)
+  let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.)
+
+  let pp_args fmt args =
+    match args with
+    | [] -> ()
+    | args ->
+        Format.fprintf fmt ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Format.fprintf fmt ",";
+            Format.fprintf fmt "\"%s\":%s" (escape k) (fmt_value v))
+          args;
+        Format.fprintf fmt "}"
+
+  let pp fmt (events : Tracing.event list) =
+    (* pids/tids by first appearance: deterministic for a given event list *)
+    let pids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let tids : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
+    let next_tid : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let pid_order = ref [] and tid_order = ref [] in
+    let pid_of track =
+      match Hashtbl.find_opt pids track with
+      | Some p -> p
+      | None ->
+          let p = Hashtbl.length pids + 1 in
+          Hashtbl.replace pids track p;
+          pid_order := track :: !pid_order;
+          p
+    in
+    let tid_of track lane =
+      if lane = "" then 0
+      else
+        match Hashtbl.find_opt tids (track, lane) with
+        | Some t -> t
+        | None ->
+            let t =
+              match Hashtbl.find_opt next_tid track with Some n -> n | None -> 1
+            in
+            Hashtbl.replace next_tid track (t + 1);
+            Hashtbl.replace tids (track, lane) t;
+            tid_order := (track, lane) :: !tid_order;
+            t
+    in
+    List.iter
+      (fun (e : Tracing.event) -> ignore (tid_of e.track e.lane : int); ignore (pid_of e.track : int))
+      events;
+    Format.fprintf fmt "{\"traceEvents\":[";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Format.fprintf fmt ",";
+      Format.fprintf fmt "@\n"
+    in
+    List.iter
+      (fun track ->
+        sep ();
+        Format.fprintf fmt
+          "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+          (pid_of track) (escape track))
+      (List.rev !pid_order);
+    List.iter
+      (fun (track, lane) ->
+        sep ();
+        Format.fprintf fmt
+          "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+          (pid_of track) (tid_of track lane) (escape lane))
+      (List.rev !tid_order);
+    List.iter
+      (fun (e : Tracing.event) ->
+        sep ();
+        let pid = pid_of e.track and tid = tid_of e.track e.lane in
+        match e.kind with
+        | Tracing.Span ->
+            Format.fprintf fmt
+              "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%s,\"dur\":%s%a}"
+              pid tid (escape e.name) (escape e.track) (us e.ts) (us e.dur)
+              pp_args e.args
+        | Tracing.Instant ->
+            Format.fprintf fmt
+              "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%s,\"s\":\"t\"%a}"
+              pid tid (escape e.name) (escape e.track) (us e.ts) pp_args e.args
+        | Tracing.Sample ->
+            Format.fprintf fmt
+              "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"ts\":%s%a}"
+              pid tid (escape e.name) (us e.ts) pp_args e.args)
+      events;
+    Format.fprintf fmt "@\n]}@\n"
+
+  let to_string events = Format.asprintf "%a" pp events
+
+  let write path events =
+    let oc = open_out path in
+    let fmt = Format.formatter_of_out_channel oc in
+    pp fmt events;
+    Format.pp_print_flush fmt ();
+    close_out oc
+
+  let validate text =
+    match Json.parse text with
+    | Error msg -> Error ("invalid JSON: " ^ msg)
+    | Ok json -> (
+        match Json.member "traceEvents" json with
+        | None -> Error "missing \"traceEvents\" key"
+        | Some (Json.Arr evs) ->
+            let count = ref 0 in
+            let bad = ref None in
+            List.iteri
+              (fun i ev ->
+                match Json.member "ph" ev with
+                | Some (Json.Str "M") -> ()
+                | Some (Json.Str _) -> Stdlib.incr count
+                | _ ->
+                    if !bad = None then
+                      bad := Some (Printf.sprintf "event %d has no \"ph\"" i))
+              evs;
+            (match !bad with Some msg -> Error msg | None -> Ok !count)
+        | Some _ -> Error "\"traceEvents\" is not an array")
+end

@@ -1,0 +1,193 @@
+(** Kernel-wide telemetry: a process-global metrics registry, a structured
+    trace recorder with a process/track model, and a Chrome trace-event
+    (catapult) JSON exporter.
+
+    The library is a leaf: it depends on nothing and never reads the wall
+    clock, so every snapshot and exported trace is byte-reproducible for a
+    given sequence of updates. Timestamps are plain integers — the simulator
+    passes nanoseconds since sim start ([Time.t]).
+
+    Two switches control cost:
+
+    - {!enabled} (default [true]) gates {e all} recording. Metric updates
+      against pre-resolved handles are a single branch + float store when
+      enabled and a single branch when disabled, so instrumented hot paths
+      stay within noise of uninstrumented ones.
+    - {!Tracing.start} additionally arms event recording. Until armed (for
+      instance by [psbox_sim --trace-out]), {!Tracing.span} and friends are
+      a branch and nothing else — no allocation, no buffering. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Master switch. When [false], metric updates and trace recording are
+    no-ops; registration ({!Metrics.counter} etc.) still works so handles
+    can be created unconditionally. *)
+
+(** {1 Metrics registry}
+
+    Named counters, gauges and fixed-bucket histograms. Names are
+    hierarchical, dot-separated, lower-case:
+    [subsystem[.instance].quantity] — e.g. [smp.core0.ctx_switches],
+    [budget.app3.throttle_level], [sim.events_fired].
+
+    Handles are found-or-created by name in a process-global registry:
+    calling {!Metrics.counter} twice with the same name returns the same
+    cell, so several simulator instances in one process share (and sum
+    into) the same metric. Resolve handles once, at subsystem creation;
+    hot-path updates on a handle are O(1) and allocation-free. *)
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  (** Find or create. @raise Invalid_argument if [name] is already
+      registered as a different kind of metric. *)
+
+  val incr : counter -> unit
+  val add : counter -> float -> unit
+  val counter_value : counter -> float
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+
+  val set_max : gauge -> float -> unit
+  (** Keep the running maximum of the observed values. *)
+
+  val gauge_value : gauge -> float
+
+  val histogram : string -> edges:float array -> histogram
+  (** Fixed upper-bound bucket edges, strictly increasing. A value [v]
+      lands in the first bucket with [v <= edge], or in the implicit
+      [+inf] overflow bucket. @raise Invalid_argument on empty or
+      non-increasing edges, or if [name] exists with different edges. *)
+
+  val observe : histogram -> float -> unit
+
+  val bucket_counts : histogram -> int array
+  (** Per-bucket (non-cumulative) counts; last entry is the overflow
+      bucket. Length = [Array.length edges + 1]. *)
+
+  val snapshot : unit -> (string * string) list
+  (** Every registered metric as [(row_name, value)] pairs, metrics sorted
+      by name, histogram bucket rows ([name{le=...}], cumulative, then
+      [name.sum]) kept in bucket order. Deterministic: same update history,
+      same bytes. *)
+
+  val values : unit -> (string * float) list
+  (** Counters and gauges only (no histogram rows), sorted by name. *)
+
+  val find : string -> float option
+  (** Current value of a counter or gauge by name; [None] if unregistered
+      or a histogram. *)
+
+  val dump : Format.formatter -> unit -> unit
+  (** Print {!snapshot} one [name value] row per line. *)
+
+  val dump_string : unit -> string
+
+  val reset : unit -> unit
+  (** Zero every registered metric (registrations survive). Intended for
+      tests and for isolating per-run counts in long-lived processes. *)
+end
+
+(** {1 Structured tracing}
+
+    Events carry a [track] (Chrome "process", e.g. a subsystem such as
+    ["kernel.cfs"] or ["kernel.accel.gpu"]) and a [lane] (Chrome "thread"
+    within the track, e.g. ["core0"] or ["app3"]). Recording is buffered
+    in memory, capped (default 2M events, see {!Tracing.set_limit}) with a
+    deterministic drop count, and only active when both {!enabled} and
+    {!Tracing.start} have been set. *)
+module Tracing : sig
+  type kind = Span | Instant | Sample
+
+  type event = {
+    track : string;
+    lane : string;
+    kind : kind;
+    name : string;
+    ts : int;  (** nanoseconds *)
+    dur : int;  (** nanoseconds; 0 unless [kind = Span] *)
+    args : (string * float) list;
+  }
+
+  val start : unit -> unit
+  (** Arm recording (subject to {!enabled}). *)
+
+  val stop : unit -> unit
+
+  val recording : unit -> bool
+
+  val clear : unit -> unit
+  (** Drop all buffered events and reset the drop counter. *)
+
+  val span :
+    track:string ->
+    lane:string ->
+    name:string ->
+    ?args:(string * float) list ->
+    start:int ->
+    stop:int ->
+    unit ->
+    unit
+
+  val instant :
+    track:string ->
+    lane:string ->
+    name:string ->
+    ?args:(string * float) list ->
+    int ->
+    unit
+
+  val sample : track:string -> name:string -> int -> float -> unit
+  (** A counter-timeline sample (Chrome ["C"] event). *)
+
+  val events : unit -> event list
+  (** Recorded events, oldest first. *)
+
+  val length : unit -> int
+
+  val dropped : unit -> int
+  (** Events discarded after the buffer cap was reached. *)
+
+  val set_limit : int -> unit
+end
+
+(** {1 Minimal JSON}
+
+    A tiny parser used to validate exported traces ([psbox_sim trace-check],
+    [make trace-smoke]) and for round-trip tests — no external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+end
+
+(** {1 Chrome trace-event exporter}
+
+    Serialises {!Tracing.event}s to the catapult JSON format accepted by
+    [chrome://tracing] and [https://ui.perfetto.dev]. Tracks map to pids and
+    lanes to tids (assigned by first appearance, so output is deterministic),
+    announced with [process_name]/[thread_name] metadata events. Spans
+    become ["X"] complete events, instants ["i"], samples ["C"]; timestamps
+    are microseconds with nanosecond precision. *)
+module Chrome_trace : sig
+  val pp : Format.formatter -> Tracing.event list -> unit
+  val to_string : Tracing.event list -> string
+
+  val write : string -> Tracing.event list -> unit
+  (** [write path events] — export to a file. *)
+
+  val validate : string -> (int, string) result
+  (** Parse trace JSON text and return the number of non-metadata events,
+      or a description of what is malformed. *)
+end

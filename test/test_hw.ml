@@ -35,6 +35,7 @@ let test_dvfs_performance_pins_top () =
   let d =
     Dvfs.create sim ~opps ~governor:Dvfs.Performance
       ~get_util:(fun () -> 0.0)
+      ()
   in
   check_int "top opp" 2 (Dvfs.opp_index d)
 
@@ -47,6 +48,7 @@ let test_dvfs_ondemand_ramp_and_decay () =
       ~opps
       ~governor:(Dvfs.Ondemand { up_threshold = 0.8; sampling = Time.ms 10 })
       ~get_util:(fun () -> !util)
+      ()
   in
   ignore (Bus.subscribe (Dvfs.changes d) (fun _ -> incr changes));
   check_int "starts lowest" 0 (Dvfs.opp_index d);
@@ -65,6 +67,7 @@ let test_dvfs_freeze () =
     Dvfs.create sim ~opps
       ~governor:(Dvfs.Ondemand { up_threshold = 0.8; sampling = Time.ms 10 })
       ~get_util:(fun () -> 1.0)
+      ()
   in
   Dvfs.freeze d;
   Sim.run_until sim (Time.ms 50);
@@ -80,6 +83,7 @@ let test_dvfs_set_opp () =
   let d =
     Dvfs.create sim ~opps ~governor:Dvfs.Userspace
       ~get_util:(fun () -> 1.0)
+      ()
   in
   Dvfs.set_opp d 1;
   check_int "set" 1 (Dvfs.opp_index d);

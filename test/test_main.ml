@@ -19,4 +19,5 @@ let () =
       ("misc", Test_misc.suite);
       ("system", Test_system.suite);
       ("budget", Test_budget.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
