@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-diff trace-smoke smoke clean
+.PHONY: all build test bench bench-json bench-diff trace-smoke audit-smoke \
+	smoke clean
 
 all: build
 
@@ -27,13 +28,24 @@ trace-smoke:
 	dune exec bin/psbox_sim.exe -- --trace-out _build/trace-smoke.json budget
 	dune exec bin/psbox_sim.exe -- trace-check _build/trace-smoke.json
 
+# Run the multi-rail budget co-run with the joule audit armed, then verify
+# the report's conservation claims from the outside: audit-check re-folds
+# every rail's rows and requires bit-equality with the attributed total
+# and the kernel energy ledger.
+audit-smoke:
+	dune exec bin/psbox_sim.exe -- --audit-out _build/audit-smoke.txt \
+		--flame-out _build/flame-smoke.txt budget
+	dune exec bin/psbox_sim.exe -- audit-check _build/audit-smoke.txt
+
 # Fast end-to-end confidence: full build, the whole test suite, one reduced
-# experiment driven through the real CLI, and a validated trace export.
+# experiment driven through the real CLI, a validated trace export, and a
+# bit-exactly conserved joule audit.
 smoke:
 	dune build
 	dune runtest
 	dune exec bin/psbox_sim.exe -- run fig3
 	$(MAKE) trace-smoke
+	$(MAKE) audit-smoke
 	dune exec bench/diff.exe
 
 clean:

@@ -14,26 +14,28 @@
 
 let threshold_pct = 20.0
 
-let parse_line line =
-  (* ...{ "name": "<name>", "ns_per_run": <float> }... *)
-  let find_sub s sub from =
-    let n = String.length s and m = String.length sub in
-    let rec go i =
-      if i + m > n then None
-      else if String.sub s i m = sub then Some i
-      else go (i + 1)
-    in
-    go from
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
   in
+  go from
+
+(* ...{ "name": "<name>", "<key>": <float> }... *)
+let parse_kv line ~key =
   match find_sub line "\"name\": \"" 0 with
   | None -> None
   | Some i -> (
       let start = i + 9 in
-      match find_sub line "\", \"ns_per_run\": " start with
+      let sep = "\", \"" ^ key ^ "\": " in
+      match find_sub line sep start with
       | None -> None
       | Some j ->
           let name = String.sub line start (j - start) in
-          let rest = String.sub line (j + 17) (String.length line - j - 17) in
+          let vstart = j + String.length sep in
+          let rest = String.sub line vstart (String.length line - vstart) in
           let num =
             String.to_seq rest
             |> Seq.take_while (fun c ->
@@ -42,17 +44,31 @@ let parse_line line =
           in
           (try Some (name, float_of_string num) with Failure _ -> None))
 
-let load path =
+let parse_line line = parse_kv line ~key:"ns_per_run"
+
+(* audit.* rows of the event_counts section: attributed joules, compared
+   informationally (energy shifts are workload changes, not perf
+   regressions, so they never fail the diff) *)
+let parse_audit_line line =
+  match parse_kv line ~key:"count" with
+  | Some (name, _) as row
+    when String.length name >= 6 && String.sub name 0 6 = "audit." ->
+      row
+  | _ -> None
+
+let load_with parse path =
   let ic = open_in path in
   let rows = ref [] in
   (try
      while true do
-       match parse_line (input_line ic) with
+       match parse (input_line ic) with
        | Some row -> rows := row :: !rows
        | None -> ()
      done
    with End_of_file -> close_in ic);
   List.rev !rows
+
+let load path = load_with parse_line path
 
 let () =
   let snapshots =
@@ -94,6 +110,21 @@ let () =
           if not (List.mem_assoc name cur) then
             Printf.printf "  GONE   %s\n" name)
         base;
+      (let audit_base = load_with parse_audit_line older
+       and audit_cur = load_with parse_audit_line newer in
+       if audit_cur <> [] then begin
+         Printf.printf "audit totals (informational):\n";
+         List.iter
+           (fun (name, j) ->
+             match List.assoc_opt name audit_base with
+             | None -> Printf.printf "  NEW    %-52s %14.3f J\n" name j
+             | Some j0 ->
+                 let pct = if j0 > 0.0 then (j -. j0) /. j0 *. 100.0 else 0.0 in
+                 Printf.printf "  %-8s%-52s %14.3f J  %+6.1f%%\n"
+                   (if Float.abs pct > 1.0 then "shift" else "ok")
+                   name j pct)
+           audit_cur
+       end);
       (match List.rev !regressions with
       | [] ->
           Printf.printf "bench-diff: %d benchmarks within threshold\n" !compared

@@ -20,6 +20,7 @@ module Psbox = Psbox_core.Psbox
 module W = Psbox_workloads.Workload
 module T = Psbox_engine.Time
 module Telemetry = Psbox_telemetry
+module Audit = Psbox_audit.Audit
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every table and figure                            *)
@@ -229,8 +230,16 @@ let write_json rows =
   output_string oc "  ],\n  \"event_counts\": [\n";
   List.iteri
     (fun i (name, v) ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"count\": %.0f }%s\n"
-        (json_escape name) v
+      (* audit.* counters are attributed joules, not event counts: keep
+         their fractional part so bench/diff.ml can compare energy totals
+         across snapshots *)
+      let fmt_count =
+        if String.length name >= 6 && String.sub name 0 6 = "audit." then
+          Printf.sprintf "%.6f" v
+        else Printf.sprintf "%.0f" v
+      in
+      Printf.fprintf oc "    { \"name\": \"%s\", \"count\": %s }%s\n"
+        (json_escape name) fmt_count
         (if i = List.length counts - 1 then "" else ","))
     counts;
   output_string oc "  ]\n}\n";
@@ -251,6 +260,10 @@ let () =
           Printf.eprintf "unknown flag %s (known: --json --micro-only)\n" a;
           exit 2)
     argv;
+  (* auditing on, as everywhere: its counters (attributed joules per rail
+     and per cause) ride along in the event_counts section of the JSON
+     snapshot, where bench/diff.exe compares them across runs *)
+  Audit.enable ();
   if not micro_only then regenerate ();
   let rows = microbench () in
   if json then write_json rows

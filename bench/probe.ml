@@ -1,10 +1,12 @@
-(* Telemetry overhead probe: times the same simulated scheduler-second
-   with the metrics registry enabled and disabled, interleaved A/B/A/B so
-   machine drift hits both sides. Reports the delta of the per-side
-   minima — on a noisy box single-shot bechamel comparisons can swing by
-   more than the instrumentation costs, and this isolates the cost
-   directly. *)
+(* Instrumentation overhead probe: times the same simulated
+   scheduler-second with a layer enabled and disabled, interleaved
+   A/B/A/B so machine drift hits both sides. Reports the delta of the
+   per-side minima — on a noisy box single-shot bechamel comparisons can
+   swing by more than the instrumentation costs, and this isolates the
+   cost directly. Probes two layers the same way: the telemetry metrics
+   registry and the joule-audit attribution ledger. *)
 module System = Psbox_kernel.System
+module Audit = Psbox_audit.Audit
 module W = Psbox_workloads.Workload
 module T = Psbox_engine.Time
 
@@ -27,17 +29,30 @@ let time n f =
   for _ = 1 to n do f () done;
   (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
 
+(* Interleave [n]-run timings with the layer on and off, twice each;
+   the overhead is the delta of the per-side minima. *)
+let probe ~label ~n ~set =
+  set true;
+  let on1 = time n sched_second in
+  set false;
+  let off1 = time n sched_second in
+  set true;
+  let on2 = time n sched_second in
+  set false;
+  let off2 = time n sched_second in
+  set true;
+  Printf.printf
+    "%-9s on: %.1f / %.1f us   off: %.1f / %.1f us   overhead: %+.1f%%\n"
+    label on1 on2 off1 off2
+    ((min on1 on2 -. min off1 off2) /. min off1 off2 *. 100.0)
+
 let () =
   let n = 400 in
   ignore (time 50 sched_second); (* warmup *)
-  let on1 = time n sched_second in
-  Psbox_telemetry.set_enabled false;
-  let off1 = time n sched_second in
-  Psbox_telemetry.set_enabled true;
-  let on2 = time n sched_second in
-  Psbox_telemetry.set_enabled false;
-  let off2 = time n sched_second in
-  Psbox_telemetry.set_enabled true;
-  Printf.printf "on: %.1f / %.1f us   off: %.1f / %.1f us   overhead: %+.1f%%\n"
-    on1 on2 off1 off2
-    ((min on1 on2 -. min off1 off2) /. min off1 off2 *. 100.0)
+  probe ~label:"telemetry" ~n ~set:Psbox_telemetry.set_enabled;
+  (* audit: attach/detach is per-machine at boot, so toggling the enable
+     flag cleanly gates whole runs; reset drops bookkeeping between
+     phases so thousands of probe machines don't accumulate *)
+  probe ~label:"audit" ~n ~set:(fun b ->
+      if b then Audit.enable () else Audit.disable ();
+      Audit.reset ())

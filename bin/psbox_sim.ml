@@ -9,12 +9,20 @@
    Telemetry options (on `run`, `all`, and the default command):
      --trace-out FILE   record a structured trace of the run and export it
                         as Chrome trace-event JSON (chrome://tracing)
-     --metrics          print the deterministic metrics snapshot afterwards *)
+     --metrics          print the deterministic metrics snapshot afterwards
+     --audit-out FILE   write the joule-audit report (per-app per-cause
+                        attribution, bit-exactly conserved per rail)
+     --flame-out FILE   write folded stacks (rail;app;subsystem;cause uJ)
+                        for standard flamegraph tools
+
+   The joule audit itself is always on: it is a pure observer, and
+   `audit-check` plus the byte-identical experiment outputs prove it. *)
 
 open Cmdliner
 module Registry = Psbox_experiments.Registry
 module Report = Psbox_experiments.Report
 module Telemetry = Psbox_telemetry
+module Audit = Psbox_audit.Audit
 
 let list_cmd =
   let doc = "List the available experiments (one per paper table/figure)." in
@@ -40,7 +48,36 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let run_ids trace_out metrics ids =
+let audit_out_arg =
+  let doc =
+    "Write the joule-audit report to $(docv): per-app per-cause energy \
+     attribution for every machine the run built, with per-rail sums that \
+     match the kernel energy ledger bit-for-bit (verify with \
+     $(b,audit-check))."
+  in
+  Arg.(value & opt (some string) None & info [ "audit-out" ] ~docv:"FILE" ~doc)
+
+let flame_out_arg =
+  let doc =
+    "Write folded stacks ($(i,rail;app;subsystem;cause microjoules), one \
+     per line) to $(docv), consumable by standard flamegraph tools \
+     (flamegraph.pl, inferno, speedscope)."
+  in
+  Arg.(value & opt (some string) None & info [ "flame-out" ] ~docv:"FILE" ~doc)
+
+let with_formatter_to path f =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+let run_ids trace_out metrics audit_out flame_out ids =
+  (* Auditing is the default: a pure observer whose cost the probe bench
+     bounds. Report mode (which retains every machine for the final
+     report) is only armed when a report was actually requested. *)
+  Audit.enable ();
+  if audit_out <> None || flame_out <> None then Audit.set_report_mode true;
   (match trace_out with
   | Some _ ->
       Telemetry.Tracing.clear ();
@@ -64,6 +101,28 @@ let run_ids trace_out metrics ids =
       | 0 -> print_newline ()
       | n -> Printf.printf " (%d dropped at the buffer cap)\n" n)
   | None -> ());
+  (match audit_out with
+  | Some path ->
+      (* verify conservation before writing: a report that fails its own
+         invariant must not be produced silently *)
+      List.iter
+        (fun a ->
+          match Audit.check a with
+          | Ok () -> ()
+          | Error msg ->
+              Printf.eprintf "audit: conservation violated: %s\n" msg;
+              exit 1)
+        (Audit.instances ());
+      with_formatter_to path Audit.write_report;
+      Printf.printf "audit: wrote report for %d system(s) to %s\n"
+        (List.length (Audit.instances ()))
+        path
+  | None -> ());
+  (match flame_out with
+  | Some path ->
+      with_formatter_to path Audit.write_flame;
+      Printf.printf "audit: wrote folded stacks to %s\n" path
+  | None -> ());
   if metrics then begin
     print_endline "== telemetry metrics ==";
     print_string (Telemetry.Metrics.dump_string ())
@@ -75,14 +134,19 @@ let run_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment id")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_ids $ trace_out_arg $ metrics_arg $ ids)
+    Term.(
+      const run_ids $ trace_out_arg $ metrics_arg $ audit_out_arg
+      $ flame_out_arg $ ids)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run trace_out metrics =
-    run_ids trace_out metrics (List.map (fun e -> e.Registry.e_id) Registry.all)
+  let run trace_out metrics audit_out flame_out =
+    run_ids trace_out metrics audit_out flame_out
+      (List.map (fun e -> e.Registry.e_id) Registry.all)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ trace_out_arg $ metrics_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const run $ trace_out_arg $ metrics_arg $ audit_out_arg $ flame_out_arg)
 
 let trace_check_cmd =
   let doc =
@@ -109,18 +173,110 @@ let trace_check_cmd =
   in
   Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file)
 
+(* Re-fold an --audit-out report and verify its conservation claims from
+   the outside: the rows of each rail block, summed top to bottom, must
+   reproduce both the attributed total and the kernel ledger value
+   bit-for-bit ([%.17g] round-trips doubles exactly). *)
+let audit_check_cmd =
+  let doc =
+    "Validate a joule-audit report (as written by --audit-out): per rail, \
+     the rows re-folded in file order must equal the attributed total and \
+     the kernel energy ledger bit-for-bit. Exits non-zero otherwise."
+  in
+  let file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"audit file")
+  in
+  let run file =
+    let bits = Int64.bits_of_float in
+    let fail line msg =
+      Printf.eprintf "audit-check: %s:%d: %s\n" file line msg;
+      exit 1
+    in
+    let folds : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    let kv line tok key =
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = key -> (
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match float_of_string_opt v with
+          | Some f -> f
+          | None -> fail line (Printf.sprintf "bad %s value %S" key v))
+      | _ -> fail line (Printf.sprintf "expected %s=..." key)
+    in
+    let rails_checked = ref 0 and rows_seen = ref 0 in
+    let ic = open_in file in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         let n = !lineno in
+         match String.split_on_char ' ' line with
+         | "system" :: _ -> Hashtbl.reset folds
+         | [ "rail"; rail; "subsystem"; _ ] -> Hashtbl.replace folds rail 0.0
+         | "row" :: rail :: _app :: _sub :: cause :: j :: rest ->
+             if Audit.cause_of_label cause = None then
+               fail n (Printf.sprintf "unknown cause %S" cause);
+             (match rest with [] | [ "residual" ] -> () | _ -> fail n "bad row");
+             let j =
+               match float_of_string_opt j with
+               | Some f -> f
+               | None -> fail n (Printf.sprintf "bad joule value %S" j)
+             in
+             (match Hashtbl.find_opt folds rail with
+             | Some acc -> Hashtbl.replace folds rail (acc +. j)
+             | None -> fail n (Printf.sprintf "row before rail header %S" rail));
+             incr rows_seen
+         | "railsum" :: rail :: attributed :: ledger :: _ ->
+             let attributed = kv n attributed "attributed" in
+             let ledger = kv n ledger "ledger" in
+             let folded =
+               match Hashtbl.find_opt folds rail with
+               | Some acc -> acc
+               | None -> fail n (Printf.sprintf "railsum before rail %S" rail)
+             in
+             if bits folded <> bits attributed then
+               fail n
+                 (Printf.sprintf
+                    "rail %s: re-folded rows %.17g <> attributed %.17g" rail
+                    folded attributed);
+             if bits attributed <> bits ledger then
+               fail n
+                 (Printf.sprintf
+                    "rail %s: attributed %.17g <> kernel ledger %.17g" rail
+                    attributed ledger);
+             Hashtbl.remove folds rail;
+             incr rails_checked
+         | [] | [ "" ] -> ()
+         | first :: _ when String.length first > 0 && first.[0] = '#' -> ()
+         | _ -> fail n (Printf.sprintf "unrecognized line %S" line)
+       done
+     with End_of_file -> close_in ic);
+    if !rails_checked = 0 then begin
+      Printf.eprintf "audit-check: %s contains no rail blocks\n" file;
+      exit 1
+    end;
+    Printf.printf
+      "audit-check: %s ok (%d rails, %d rows, per-rail sums bit-exact)\n" file
+      !rails_checked !rows_seen
+  in
+  Cmd.v (Cmd.info "audit-check" ~doc) Term.(const run $ file)
+
 (* Default command: bare experiment ids work without the `run` subcommand
    (`psbox_sim --trace-out t.json budget`). *)
 let default_term =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run trace_out metrics ids =
+  let run trace_out metrics audit_out flame_out ids =
     match ids with
     | [] -> `Help (`Pager, None)
     | ids ->
-        run_ids trace_out metrics ids;
+        run_ids trace_out metrics audit_out flame_out ids;
         `Ok ()
   in
-  Term.(ret (const run $ trace_out_arg $ metrics_arg $ ids))
+  Term.(
+    ret
+      (const run $ trace_out_arg $ metrics_arg $ audit_out_arg $ flame_out_arg
+     $ ids))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in
@@ -128,4 +284,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; all_cmd; trace_check_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; trace_check_cmd; audit_check_cmd ]))

@@ -38,7 +38,13 @@ let of_packets pkts =
 type segment = { t0 : Time.t; t1 : Time.t; shares : (int * float) list }
 
 let segments spans ~from ~until =
-  (* event sweep: +share at start, -share at stop *)
+  (* incremental sweep over one sorted event array: +share at start,
+     -share at stop, emitting a segment whenever time advances. One
+     O(n log n) sort then a linear pass — the previous version re-split
+     the whole remaining event list at every distinct timestamp, which
+     was quadratic on traces with many unique times. The sort is
+     stabilized with the construction index so simultaneous events apply
+     in span order, exactly as the stable list sort used to. *)
   let events =
     List.concat_map
       (fun s ->
@@ -47,7 +53,11 @@ let segments spans ~from ~until =
         else [ (start, s.app, s.share); (stop, s.app, -.s.share) ])
       spans
   in
-  let events = List.sort (fun (t1, _, _) (t2, _, _) -> compare t1 t2) events in
+  let ev = Array.of_list (List.mapi (fun i e -> (i, e)) events) in
+  Array.sort
+    (fun (i1, (t1, _, _)) (i2, (t2, _, _)) ->
+      match compare (t1 : Time.t) t2 with 0 -> compare i1 i2 | c -> c)
+    ev;
   let shares : (int, float) Hashtbl.t = Hashtbl.create 8 in
   let current () =
     Hashtbl.fold
@@ -55,23 +65,18 @@ let segments spans ~from ~until =
       shares []
     |> List.sort compare
   in
-  let apply (_, app, delta) =
-    let cur = match Hashtbl.find_opt shares app with Some x -> x | None -> 0.0 in
-    Hashtbl.replace shares app (cur +. delta)
-  in
-  let rec sweep t events acc =
-    match events with
-    | [] -> if until > t then { t0 = t; t1 = until; shares = current () } :: acc else acc
-    | _ ->
-        let t_next = match events with (te, _, _) :: _ -> te | [] -> until in
-        let now_batch, later =
-          List.partition (fun (te, _, _) -> te = t_next) events
-        in
-        let acc =
-          if t_next > t then { t0 = t; t1 = t_next; shares = current () } :: acc
-          else acc
-        in
-        List.iter apply now_batch;
-        sweep t_next later acc
-  in
-  List.rev (sweep from events [])
+  let acc = ref [] in
+  let t = ref from in
+  Array.iter
+    (fun (_, (te, app, delta)) ->
+      if te > !t then begin
+        acc := { t0 = !t; t1 = te; shares = current () } :: !acc;
+        t := te
+      end;
+      let cur =
+        match Hashtbl.find_opt shares app with Some x -> x | None -> 0.0
+      in
+      Hashtbl.replace shares app (cur +. delta))
+    ev;
+  if until > !t then acc := { t0 = !t; t1 = until; shares = current () } :: !acc;
+  List.rev !acc

@@ -8,6 +8,7 @@ module Power_rail = Psbox_hw.Power_rail
 module Sample = Psbox_meter.Sample
 module Tm = Psbox_telemetry.Metrics
 module Tt = Psbox_telemetry.Tracing
+module Audit = Psbox_audit.Audit
 
 type target = Cpu | Gpu | Dsp | Wifi | Display | Gps
 
@@ -75,6 +76,8 @@ type t = {
   bindings : binding list;
   mutable inside : bool;
   mutable entered_at : Time.t;
+  mutable blame_at_enter : (Audit.cause * float) list;
+  mutable last_stay_blame : (string * float) list;
 }
 
 (* Global registry enforcing one psbox per (system, app, target). *)
@@ -263,12 +266,26 @@ let create ?(virtualize_power_state = true) sys ~app ~hw =
   let bindings =
     List.map (make_binding sys ~app ~virtualize:virtualize_power_state) hw
   in
-  { sys; p_app = app; bindings; inside = false; entered_at = Time.zero }
+  {
+    sys;
+    p_app = app;
+    bindings;
+    inside = false;
+    entered_at = Time.zero;
+    blame_at_enter = [];
+    last_stay_blame = [];
+  }
 
 let enter psbox =
   if not psbox.inside then begin
     psbox.inside <- true;
     psbox.entered_at <- now psbox;
+    (* snapshot the joule-audit blame matrix so [leave] can report the
+       per-cause energy this stay was billed for *)
+    psbox.blame_at_enter <-
+      (match Audit.lookup psbox.sys with
+      | Some a -> Audit.app_blame a ~app:psbox.p_app
+      | None -> []);
     Tm.incr m_enters;
     if Tt.recording () then
       Tt.instant ~track:psbox_track
@@ -281,6 +298,25 @@ let leave psbox =
   if psbox.inside then begin
     List.iter (fun b -> b.b_detach ()) psbox.bindings;
     psbox.inside <- false;
+    (match Audit.lookup psbox.sys with
+    | Some a ->
+        let after = Audit.app_blame a ~app:psbox.p_app in
+        let get l c =
+          match List.assoc_opt c l with Some j -> j | None -> 0.0
+        in
+        psbox.last_stay_blame <-
+          List.filter_map
+            (fun c ->
+              let d = get after c -. get psbox.blame_at_enter c in
+              if d <> 0.0 then Some (Audit.cause_label c, d) else None)
+            [
+              Audit.Active;
+              Audit.Shared_rail;
+              Audit.Lingering;
+              Audit.Dvfs_transition;
+              Audit.Idle_floor;
+            ]
+    | None -> ());
     Tm.incr m_leaves;
     if Tt.recording () then
       Tt.instant ~track:psbox_track
@@ -289,6 +325,7 @@ let leave psbox =
   end
 
 let inside psbox = psbox.inside
+let stay_blame psbox = psbox.last_stay_blame
 let app psbox = psbox.p_app
 let targets psbox = List.map (fun b -> b.b_target) psbox.bindings
 

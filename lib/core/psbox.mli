@@ -81,6 +81,14 @@ val exclusive_us : t -> float
 (** Total microseconds of exclusive (balloon) hardware time granted to this
     psbox since {!enter} (diagnostics). *)
 
+val stay_blame : t -> (string * float) list
+(** The joule-audit view of the app's last completed stay: per-cause
+    joules ({!Psbox_audit.Audit.cause_label} × J) the attribution ledger
+    blamed on this app between the last {!enter} and {!leave}, summed over
+    all rails. Makes insulation auditable: after a balloon'd stay, the
+    app's shared-rail blame should be on the balloon owner, not leaked to
+    neighbours. Empty when auditing is off or the box was never left. *)
+
 val exclusive_intervals : t -> (Psbox_engine.Time.t * Psbox_engine.Time.t) list
 (** The exclusive intervals themselves (all bound components merged,
     unsorted across components), since {!enter}. *)

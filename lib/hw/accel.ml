@@ -166,7 +166,12 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
       sim;
       name;
       units;
-      rail = Power_rail.create ?retention sim ~name ~idle_w;
+      (* With autosuspend, the suspended draw is the true floor; the gap
+         between it and [idle_w] is a lingering power state. *)
+      rail =
+        Power_rail.create ?retention
+          ?floor_w:(match autosuspend with Some _ -> Some suspend_w | None -> None)
+          sim ~name ~idle_w;
       dvfs = None;
       factor = 1.0;
       waiting = [];

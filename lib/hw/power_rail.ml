@@ -11,16 +11,20 @@ type t = {
   sim : Sim.t;
   name : string;
   idle_w : float;
+  floor_w : float;
   timeline : Timeline.t;
   bus : transition Bus.t;
   mutable cur_w : float;
 }
 
-let create ?retention sim ~name ~idle_w =
+let create ?retention ?floor_w sim ~name ~idle_w =
+  let floor_w = match floor_w with Some f -> f | None -> idle_w in
+  if floor_w > idle_w then invalid_arg "Power_rail.create: floor above idle";
   {
     sim;
     name;
     idle_w;
+    floor_w;
     timeline = Timeline.create ~initial:idle_w ?retention ();
     bus = Bus.create ();
     cur_w = idle_w;
@@ -28,6 +32,7 @@ let create ?retention sim ~name ~idle_w =
 
 let name rail = rail.name
 let idle_w rail = rail.idle_w
+let floor_w rail = rail.floor_w
 
 let set_power rail w =
   let before = rail.cur_w in

@@ -21,18 +21,30 @@ type t
 
 val create :
   ?retention:Psbox_engine.Time.span ->
+  ?floor_w:float ->
   Psbox_engine.Sim.t ->
   name:string ->
   idle_w:float ->
   t
 (** A rail whose draw starts at [idle_w] watts. [retention] bounds how much
     power history the rail keeps (see {!Psbox_engine.Timeline.create});
-    omitted, the full history is retained. *)
+    omitted, the full history is retained.
+
+    [floor_w] (default [idle_w]) is the rail's {e deepest} reachable draw —
+    the power of the device's lowest power state (e.g. an accelerator's
+    runtime-suspended draw, below its clocked-but-idle [idle_w]). Anything
+    between [floor_w] and [idle_w] with nobody using the device is a
+    {e lingering} power state in the paper's sense, and the audit ledger
+    classifies it as such. @raise Invalid_argument if above [idle_w]. *)
 
 val name : t -> string
 
 val idle_w : t -> float
 (** The rail's baseline (idle) draw in watts. *)
+
+val floor_w : t -> float
+(** The rail's deep-idle floor (see {!create}); equals {!idle_w} for
+    devices without a deeper power state. *)
 
 val set_power : t -> float -> unit
 (** Record the rail's instantaneous draw changing to the given watts at the

@@ -14,9 +14,20 @@ type ledger = {
   mutable settled_j : float; (* energy accumulated up to [settled_t] *)
 }
 
+(* Per-rail ledger with the same O(1) technique, settled only on that
+   rail's own transitions (the draw is constant in between). The audit
+   ledger reproduces exactly this accumulation, operand for operand, so
+   its per-rail attribution totals can be compared bit-for-bit. *)
+type rail_ledger = {
+  mutable rl_w : float;
+  mutable rl_t : Time.t;
+  mutable rl_j : float;
+}
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
+  uid : int;
   cpu : Psbox_hw.Cpu.t;
   smp : Smp.t;
   gpu : Accel_driver.t option;
@@ -26,10 +37,19 @@ type t = {
   gps : Psbox_hw.Gps.t option;
   power_bus : Psbox_hw.Power_rail.transition Bus.t;
   ledger : ledger;
+  rail_ledgers : (string, rail_ledger) Hashtbl.t;
   mutable apps : app list;
   mutable next_app : int;
   mutable started : bool;
 }
+
+let next_uid = ref 0
+
+(* Boot hooks run at the end of [create], observing the fully wired
+   machine. They let optional observers (the audit ledger) auto-attach to
+   every system a process builds without the kernel depending on them. *)
+let boot_hooks : (t -> unit) list ref = ref []
+let on_boot fn = boot_hooks := !boot_hooks @ [ fn ]
 
 let gpu_opps =
   [|
@@ -148,6 +168,17 @@ let create ?(seed = 42) ?(cores = 2)
       settled_j = 0.0;
     }
   in
+  let rail_ledgers = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace rail_ledgers
+        (Psbox_hw.Power_rail.name r)
+        {
+          rl_w = Psbox_hw.Power_rail.power r;
+          rl_t = Sim.now sim;
+          rl_j = 0.0;
+        })
+    rails;
   ignore
     (Bus.subscribe power_bus (fun tr ->
          let open Psbox_hw.Power_rail in
@@ -158,12 +189,23 @@ let create ?(seed = 42) ?(cores = 2)
              ledger.settled_j
              +. (ledger.total_w *. Time.to_sec_f (tr.at - ledger.settled_t));
            ledger.settled_t <- tr.at;
-           ledger.total_w <- ledger.total_w +. tr.after_w -. tr.before_w
+           ledger.total_w <- ledger.total_w +. tr.after_w -. tr.before_w;
+           match Hashtbl.find_opt rail_ledgers tr.rail_name with
+           | Some rl ->
+               rl.rl_j <- rl.rl_j +. (rl.rl_w *. Time.to_sec_f (tr.at - rl.rl_t));
+               rl.rl_t <- tr.at;
+               rl.rl_w <- tr.after_w
+           | None -> ()
          end));
-  {
-    sim; rng; cpu; smp; gpu; dsp; net; display; gps; power_bus; ledger;
-    apps = []; next_app = 1; started = false;
-  }
+  incr next_uid;
+  let sys =
+    {
+      sim; rng; uid = !next_uid; cpu; smp; gpu; dsp; net; display; gps;
+      power_bus; ledger; rail_ledgers; apps = []; next_app = 1; started = false;
+    }
+  in
+  List.iter (fun fn -> fn sys) !boot_hooks;
+  sys
 
 let am57 ?seed () = create ?seed ~cores:2 ~gpu:true ~dsp:true ()
 
@@ -249,6 +291,19 @@ let live_power_w sys = sys.ledger.total_w
 let live_energy_j sys =
   sys.ledger.settled_j
   +. (sys.ledger.total_w *. Time.to_sec_f (Sim.now sys.sim - sys.ledger.settled_t))
+
+let rail_energy_j sys ~name =
+  match Hashtbl.find_opt sys.rail_ledgers name with
+  | Some rl ->
+      rl.rl_j +. (rl.rl_w *. Time.to_sec_f (Sim.now sys.sim - rl.rl_t))
+  | None -> invalid_arg ("System.rail_energy_j: unknown rail " ^ name)
+
+let rail_energy_table sys =
+  Hashtbl.fold (fun name _ acc -> name :: acc) sys.rail_ledgers []
+  |> List.sort compare
+  |> List.map (fun name -> (name, rail_energy_j sys ~name))
+
+let uid sys = sys.uid
 
 let every sys span fn = Sim.schedule_every sys.sim span fn
 

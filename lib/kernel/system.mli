@@ -103,6 +103,25 @@ val live_energy_j : t -> float
     answered from the bus-fed ledger in O(1), independent of how much rail
     history exists. *)
 
+val rail_energy_j : t -> name:string -> float
+(** Energy drawn by one physical rail since boot, in joules, from a per-rail
+    O(1) ledger settled on that rail's own transitions. This is the reference
+    value the audit ledger ({!Psbox_audit.Audit}) must reproduce bit-for-bit.
+    @raise Invalid_argument on an unknown rail name. *)
+
+val rail_energy_table : t -> (string * float) list
+(** [rail_energy_j] for every physical rail, sorted by rail name. *)
+
+val uid : t -> int
+(** Process-unique id of this machine instance (boot order, from 1). *)
+
+val on_boot : (t -> unit) -> unit
+(** Register a hook run at the end of every subsequent {!create}, observing
+    the fully wired machine. This is how optional cross-cutting observers
+    (e.g. the audit ledger) attach to every system a process builds without
+    the kernel depending on them. Hooks run in registration order and are
+    never unregistered — make them cheap no-ops when disabled. *)
+
 val every :
   t -> Psbox_engine.Time.span -> (unit -> unit) -> Psbox_engine.Sim.periodic
 (** [every sys span f] arms a periodic timer on the machine's simulator

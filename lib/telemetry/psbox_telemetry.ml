@@ -99,6 +99,33 @@ module Metrics = struct
 
   let bucket_counts h = Array.copy h.counts
 
+  (* Prometheus-style quantile estimate: find the bucket holding the
+     rank, interpolate linearly inside it; observations in the overflow
+     bucket report the last finite edge. *)
+  let quantile h q =
+    let n = Array.fold_left ( + ) 0 h.counts in
+    if n = 0 then None
+    else begin
+      let rank = q *. float_of_int n in
+      let nedges = Array.length h.edges in
+      let rec go i cum =
+        if i >= nedges then Some h.edges.(nedges - 1)
+        else begin
+          let cum' = cum + h.counts.(i) in
+          if float_of_int cum' >= rank && h.counts.(i) > 0 then begin
+            let lo =
+              if i = 0 then Float.min 0.0 h.edges.(0) else h.edges.(i - 1)
+            in
+            let hi = h.edges.(i) in
+            let frac = (rank -. float_of_int cum) /. float_of_int h.counts.(i) in
+            Some (lo +. ((hi -. lo) *. frac))
+          end
+          else go (i + 1) cum'
+        end
+      in
+      go 0 0
+    end
+
   let sorted_metrics () =
     Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -115,7 +142,15 @@ module Metrics = struct
               let le = if i = n then "+inf" else Printf.sprintf "%g" h.edges.(i) in
               (Printf.sprintf "%s{le=%s}" name le, string_of_int !cum))
         in
-        buckets @ [ (name ^ ".sum", fmt_value h.sum) ]
+        let percentiles =
+          List.filter_map
+            (fun (label, q) ->
+              match quantile h q with
+              | Some v -> Some (name ^ "." ^ label, fmt_value v)
+              | None -> None)
+            [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
+        in
+        buckets @ [ (name ^ ".sum", fmt_value h.sum) ] @ percentiles
 
   let snapshot () =
     sorted_metrics () |> List.concat_map (fun (name, m) -> rows_of name m)

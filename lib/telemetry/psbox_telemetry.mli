@@ -69,11 +69,18 @@ module Metrics : sig
   (** Per-bucket (non-cumulative) counts; last entry is the overflow
       bucket. Length = [Array.length edges + 1]. *)
 
+  val quantile : histogram -> float -> float option
+  (** Prometheus-style quantile estimate from the bucket counts: locate
+      the bucket holding the rank, interpolate linearly inside it;
+      observations in the [+inf] overflow bucket report the last finite
+      edge. [None] on an empty histogram. *)
+
   val snapshot : unit -> (string * string) list
   (** Every registered metric as [(row_name, value)] pairs, metrics sorted
       by name, histogram bucket rows ([name{le=...}], cumulative, then
-      [name.sum]) kept in bucket order. Deterministic: same update history,
-      same bytes. *)
+      [name.sum], then [name.p50]/[name.p95]/[name.p99] estimated with
+      {!quantile} when non-empty) kept in bucket order. Deterministic:
+      same update history, same bytes. *)
 
   val values : unit -> (string * float) list
   (** Counters and gauges only (no histogram rows), sorted by name. *)

@@ -20,4 +20,5 @@ let () =
       ("system", Test_system.suite);
       ("budget", Test_budget.suite);
       ("telemetry", Test_telemetry.suite);
+      ("audit", Test_audit.suite);
     ]

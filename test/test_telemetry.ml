@@ -82,6 +82,18 @@ let test_histogram_edges () =
   Alcotest.(check string) "cumulative le=10" "4" (row "test.hist.lat{le=10}");
   Alcotest.(check string) "cumulative le=100" "6" (row "test.hist.lat{le=100}");
   Alcotest.(check string) "overflow" "8" (row "test.hist.lat{le=+inf}");
+  (* percentile rows: rank interpolated linearly inside the holding
+     bucket; ranks landing in the overflow bucket report the last finite
+     edge *)
+  Alcotest.(check string) "p50 interpolated" "10" (row "test.hist.lat.p50");
+  Alcotest.(check string) "p95 from overflow" "100" (row "test.hist.lat.p95");
+  Alcotest.(check string) "p99 from overflow" "100" (row "test.hist.lat.p99");
+  (match Tm.quantile h 0.5 with
+  | Some v -> Alcotest.(check (float 1e-9)) "quantile 0.5" 10.0 v
+  | None -> Alcotest.fail "quantile on non-empty histogram");
+  Alcotest.(check bool)
+    "quantile of empty histogram" true
+    (Tm.quantile (Tm.histogram "test.hist.empty" ~edges:[| 1.0 |]) 0.5 = None);
   Alcotest.check_raises "edges must increase"
     (Invalid_argument "Telemetry.Metrics.histogram: edges must increase")
     (fun () -> ignore (Tm.histogram "test.hist.bad" ~edges:[| 2.0; 1.0 |]))
