@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-diff trace-smoke audit-smoke \
-	smoke clean
+	sched-smoke smoke clean
 
 all: build
 
@@ -37,15 +37,25 @@ audit-smoke:
 		--flame-out _build/flame-smoke.txt budget
 	dune exec bin/psbox_sim.exe -- audit-check _build/audit-smoke.txt
 
+# Run every experiment under both event-queue backends and require the
+# outputs to be byte-identical: the timing wheel must realise the exact
+# (time, seq) total order of the reference binary heap.
+sched-smoke:
+	dune exec bin/psbox_sim.exe -- all --sched heap > _build/sched-heap.txt
+	dune exec bin/psbox_sim.exe -- all --sched wheel > _build/sched-wheel.txt
+	cmp _build/sched-heap.txt _build/sched-wheel.txt
+	@echo "sched-smoke: heap and wheel outputs byte-identical"
+
 # Fast end-to-end confidence: full build, the whole test suite, one reduced
-# experiment driven through the real CLI, a validated trace export, and a
-# bit-exactly conserved joule audit.
+# experiment driven through the real CLI, a validated trace export, a
+# bit-exactly conserved joule audit, and heap/wheel output equality.
 smoke:
 	dune build
 	dune runtest
 	dune exec bin/psbox_sim.exe -- run fig3
 	$(MAKE) trace-smoke
 	$(MAKE) audit-smoke
+	$(MAKE) sched-smoke
 	dune exec bench/diff.exe
 
 clean:

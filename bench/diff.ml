@@ -46,6 +46,11 @@ let parse_kv line ~key =
 
 let parse_line line = parse_kv line ~key:"ns_per_run"
 
+(* events_per_sec rows: simulated-event throughput, compared
+   informationally (throughput tracks how much work the scheduler does per
+   run — a shift flags an architecture change, not a perf regression) *)
+let parse_eps_line line = parse_kv line ~key:"events_per_sec"
+
 (* audit.* rows of the event_counts section: attributed joules, compared
    informationally (energy shifts are workload changes, not perf
    regressions, so they never fail the diff) *)
@@ -110,6 +115,23 @@ let () =
           if not (List.mem_assoc name cur) then
             Printf.printf "  GONE   %s\n" name)
         base;
+      (let eps_base = load_with parse_eps_line older
+       and eps_cur = load_with parse_eps_line newer in
+       if eps_cur <> [] then begin
+         Printf.printf "simulated-event throughput (informational):\n";
+         List.iter
+           (fun (name, v) ->
+             match List.assoc_opt name eps_base with
+             | None -> Printf.printf "  NEW    %-52s %12.0f ev/s\n" name v
+             | Some v0 ->
+                 let ratio = if v0 > 0.0 then v /. v0 else 0.0 in
+                 Printf.printf "  %-8s%-52s %12.0f ev/s  %5.2fx\n"
+                   (if ratio > 1.05 then "faster"
+                    else if ratio < 0.95 then "slower"
+                    else "ok")
+                   name v ratio)
+           eps_cur
+       end);
       (let audit_base = load_with parse_audit_line older
        and audit_cur = load_with parse_audit_line newer in
        if audit_cur <> [] then begin

@@ -146,23 +146,67 @@ let bench_usage_split () =
     (Psbox_accounting.Split.usage_split big_timeline usages ~from:0
        ~until:10_000_000)
 
+(* Budget-capped co-run: a tight cap forces the controller to throttle the
+   app's GPU queue and NIC queue, exercising budget.ticks and the accel/net
+   gate-wakeup paths that a free run never takes (their counters read 0 in
+   snapshots otherwise). *)
+let bench_budget_capped () =
+  let sys = System.create ~cores:2 ~gpu:true ~wifi:true () in
+  let a = System.new_app sys ~name:"a" in
+  let b = System.new_app sys ~name:"b" in
+  ignore
+    (W.spawn sys ~app:a ~name:"g" ~core:0
+       (W.forever
+          (fun () ->
+            [
+              W.Gpu_batch [ W.spec ~kind:"k" ~work_s:0.002 () ];
+              W.Send { socket = 1; bytes = 8_000 };
+            ])));
+  ignore
+    (W.spawn sys ~app:b ~name:"c" ~core:1
+       (W.forever (fun () -> [ W.Compute (T.ms 5) ])));
+  System.start sys;
+  let ctl = Psbox_budget.Budget.create sys () in
+  Psbox_budget.Budget.set_cap ctl ~app:a.System.app_id ~watts:0.05;
+  System.run_for sys (T.ms 400);
+  Psbox_budget.Budget.stop ctl;
+  System.shutdown sys
+
+(* One list drives both the Bechamel tests and the events/sec pass, so the
+   two sections of the JSON snapshot use identical names. *)
+let bench_cases =
+  [
+    ("fig6+fig8: scheduler second (2 cores)", bench_sched_second);
+    ("fig6+fig7: spatial balloons, 100ms slice", bench_balloon_cycle);
+    ("fig6+contention: GPU temporal balloons, 100ms slice",
+     bench_temporal_balloon);
+    ("fig6+fig8d: NIC balloons, 100ms slice", bench_nic_balloon);
+    ("budget: capped co-run, 400ms slice", bench_budget_capped);
+    ("sidechan: DTW, 140-point traces", bench_dtw);
+    ("meter: integrate 10k-breakpoint rail", bench_integrate);
+    ("fig6 prior: usage-split sweep, 2k spans", bench_usage_split);
+  ]
+
 let tests =
   Test.make_grouped ~name:"psbox"
-    [
-      Test.make ~name:"fig6+fig8: scheduler second (2 cores)"
-        (Staged.stage bench_sched_second);
-      Test.make ~name:"fig6+fig7: spatial balloons, 100ms slice"
-        (Staged.stage bench_balloon_cycle);
-      Test.make ~name:"fig6+contention: GPU temporal balloons, 100ms slice"
-        (Staged.stage bench_temporal_balloon);
-      Test.make ~name:"fig6+fig8d: NIC balloons, 100ms slice"
-        (Staged.stage bench_nic_balloon);
-      Test.make ~name:"sidechan: DTW, 140-point traces" (Staged.stage bench_dtw);
-      Test.make ~name:"meter: integrate 10k-breakpoint rail"
-        (Staged.stage bench_integrate);
-      Test.make ~name:"fig6 prior: usage-split sweep, 2k spans"
-        (Staged.stage bench_usage_split);
-    ]
+    (List.map
+       (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+       bench_cases)
+
+(* The tick-storm win as a first-class number: simulator events fired per
+   wall second while each benchmark runs. Measured over one run outside
+   Bechamel (the global fired counter would count its warmup runs too). *)
+let events_per_sec () =
+  let fired = Telemetry.Metrics.counter "sim.events_fired" in
+  List.map
+    (fun (name, fn) ->
+      let f0 = Telemetry.Metrics.counter_value fired in
+      let t0 = Unix.gettimeofday () in
+      fn ();
+      let dt = Unix.gettimeofday () -. t0 in
+      let df = Telemetry.Metrics.counter_value fired -. f0 in
+      ("psbox/" ^ name, if dt > 0.0 then df /. dt else 0.0))
+    bench_cases
 
 let microbench () =
   print_endline "=====================================================";
@@ -208,7 +252,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json rows =
+let write_json rows eps =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
@@ -223,6 +267,16 @@ let write_json rows =
         (json_escape name) ns
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  (* Simulated-event throughput per benchmark: its own key, so
+     bench/diff.ml compares these rows informationally (throughput shifts
+     flag scheduler work, they never fail the diff). *)
+  output_string oc "  ],\n  \"events_per_sec\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"events_per_sec\": %.0f }%s\n"
+        (json_escape name) v
+        (if i = List.length eps - 1 then "" else ","))
+    eps;
   (* Per-subsystem telemetry accumulated over the whole bench run: how many
      events each kernel path handled while producing the numbers above. The
      key is "count", not "ns_per_run", so bench/diff.ml skips these rows. *)
@@ -255,9 +309,13 @@ let () =
     (fun a ->
       match a with
       | "--json" | "--micro-only" -> ()
+      | "--sched=heap" -> Psbox_engine.Sim.set_default_backend `Heap
+      | "--sched=wheel" -> Psbox_engine.Sim.set_default_backend `Wheel
       | a when a = Sys.argv.(0) -> ()
       | a ->
-          Printf.eprintf "unknown flag %s (known: --json --micro-only)\n" a;
+          Printf.eprintf
+            "unknown flag %s (known: --json --micro-only --sched=heap|wheel)\n"
+            a;
           exit 2)
     argv;
   (* auditing on, as everywhere: its counters (attributed joules per rail
@@ -266,4 +324,9 @@ let () =
   Audit.enable ();
   if not micro_only then regenerate ();
   let rows = microbench () in
-  if json then write_json rows
+  let eps = events_per_sec () in
+  print_endline "  simulated-event throughput (one run each):";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-52s %12.0f events/s\n" name v)
+    eps;
+  if json then write_json rows eps

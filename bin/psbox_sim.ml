@@ -57,6 +57,19 @@ let audit_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "audit-out" ] ~docv:"FILE" ~doc)
 
+let sched_arg =
+  let backends = [ ("heap", `Heap); ("wheel", `Wheel) ] in
+  let doc =
+    "Event-queue implementation: $(b,wheel) (hierarchical timing wheel, \
+     the default) or $(b,heap) (the reference binary heap). Both realise \
+     the same total event order, so experiment output is byte-identical \
+     under either (verified by $(b,make sched-smoke))."
+  in
+  Arg.(
+    value
+    & opt (enum backends) (Psbox_engine.Sim.default_backend ())
+    & info [ "sched" ] ~docv:"SCHED" ~doc)
+
 let flame_out_arg =
   let doc =
     "Write folded stacks ($(i,rail;app;subsystem;cause microjoules), one \
@@ -72,7 +85,8 @@ let with_formatter_to path f =
   Format.pp_print_flush fmt ();
   close_out oc
 
-let run_ids trace_out metrics audit_out flame_out ids =
+let run_ids sched trace_out metrics audit_out flame_out ids =
+  Psbox_engine.Sim.set_default_backend sched;
   (* Auditing is the default: a pure observer whose cost the probe bench
      bounds. Report mode (which retains every machine for the final
      report) is only armed when a report was actually requested. *)
@@ -135,18 +149,19 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_ids $ trace_out_arg $ metrics_arg $ audit_out_arg
+      const run_ids $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
       $ flame_out_arg $ ids)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run trace_out metrics audit_out flame_out =
-    run_ids trace_out metrics audit_out flame_out
+  let run sched trace_out metrics audit_out flame_out =
+    run_ids sched trace_out metrics audit_out flame_out
       (List.map (fun e -> e.Registry.e_id) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ trace_out_arg $ metrics_arg $ audit_out_arg $ flame_out_arg)
+      const run $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
+      $ flame_out_arg)
 
 let trace_check_cmd =
   let doc =
@@ -266,17 +281,17 @@ let audit_check_cmd =
    (`psbox_sim --trace-out t.json budget`). *)
 let default_term =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run trace_out metrics audit_out flame_out ids =
+  let run sched trace_out metrics audit_out flame_out ids =
     match ids with
     | [] -> `Help (`Pager, None)
     | ids ->
-        run_ids trace_out metrics audit_out flame_out ids;
+        run_ids sched trace_out metrics audit_out flame_out ids;
         `Ok ()
   in
   Term.(
     ret
-      (const run $ trace_out_arg $ metrics_arg $ audit_out_arg $ flame_out_arg
-     $ ids))
+      (const run $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
+     $ flame_out_arg $ ids))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in

@@ -10,6 +10,9 @@ module Tt = Psbox_telemetry.Tracing
 let budget_track = "budget"
 let m_ticks = Tm.counter "budget.ticks"
 
+(* pre-resolved: control ticks are one-shot events, re-armed on demand *)
+let m_tick_events = Tm.counter "sim.events.budget.tick"
+
 type demand =
   | Cap of float
   | Envelope of { joules : float; horizon : Time.span }
@@ -47,7 +50,8 @@ type t = {
   dvfs_bias : bool;
   entries : (int, entry) Hashtbl.t;
   splitters : Split.live list; (* one per actuated rail, auto-wired *)
-  mutable tick : Sim.periodic option;
+  epoch : Time.t; (* anchor of the control-period grid (creation time) *)
+  mutable tick : Sim.handle option; (* armed control tick; None while idle *)
   mutable stopped : bool;
   (* admission *)
   mutable machine_budget_w : float option;
@@ -197,12 +201,47 @@ let bias_dvfs ctl =
       Psbox_hw.Dvfs.set_ceiling dvfs (c + 1)
   end
 
-let control_tick ctl () =
+(* The control tick is demand-armed on the fixed grid [epoch + k*period]:
+   it runs only while there is something to control — a registered entry,
+   or a biased-down DVFS ceiling that still has to creep back to the top.
+   An idle controller costs no simulator events, and because skipped
+   periods would have iterated zero entries they are exact no-ops. *)
+let tick_needed ctl =
+  Hashtbl.length ctl.entries > 0
+  || ctl.dvfs_bias
+     &&
+     let d = Psbox_hw.Cpu.dvfs (System.cpu ctl.sys) in
+     Psbox_hw.Dvfs.ceiling d < Psbox_hw.Dvfs.max_index d
+
+let rec arm_tick ctl =
+  match ctl.tick with
+  | Some _ -> ()
+  | None ->
+      if (not ctl.stopped) && tick_needed ctl then begin
+        let k = ((now ctl - ctl.epoch) / ctl.period) + 1 in
+        ctl.tick <-
+          Some
+            (Sim.schedule_at (sim ctl)
+               (ctl.epoch + (k * ctl.period))
+               (fun () -> tick_fired ctl))
+      end
+
+and tick_fired ctl =
+  ctl.tick <- None;
   if not ctl.stopped then begin
+    Tm.incr m_tick_events;
     Tm.incr m_ticks;
     Hashtbl.iter (fun _ e -> control_entry ctl e) ctl.entries;
-    bias_dvfs ctl
+    bias_dvfs ctl;
+    arm_tick ctl
   end
+
+let cancel_tick ctl =
+  match ctl.tick with
+  | Some h ->
+      Sim.cancel h;
+      ctl.tick <- None
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -232,6 +271,7 @@ let create sys ?(period = Time.ms 50) ?(window_periods = 4)
       dvfs_bias;
       entries = Hashtbl.create 8;
       splitters;
+      epoch = from;
       tick = None;
       stopped = false;
       machine_budget_w;
@@ -239,10 +279,7 @@ let create sys ?(period = Time.ms 50) ?(window_periods = 4)
       wait_q = Queue.create ();
     }
   in
-  ctl.tick <-
-    Some
-      (Sim.schedule_every (System.sim sys) ~label:"budget.tick" period
-         (control_tick ctl));
+  (* no periodic timer: the first entry arms the control loop *)
   ctl
 
 let period ctl = ctl.period
@@ -272,6 +309,7 @@ let entry ctl app =
       in
       Tm.set e.e_g_throttle e.e_throttle;
       Hashtbl.replace ctl.entries app e;
+      arm_tick ctl;
       e
 
 let set_cap ctl ~app ~watts =
@@ -291,7 +329,8 @@ let clear ctl ~app =
   match Hashtbl.find_opt ctl.entries app with
   | Some _ ->
       Hashtbl.remove ctl.entries app;
-      release_actuation ctl app
+      release_actuation ctl app;
+      if not (tick_needed ctl) then cancel_tick ctl
   | None -> ()
 
 let measured_w ctl ~app =
@@ -317,11 +356,7 @@ let history ctl ~app =
 let stop ctl =
   if not ctl.stopped then begin
     ctl.stopped <- true;
-    (match ctl.tick with
-    | Some p ->
-        Sim.cancel_every p;
-        ctl.tick <- None
-    | None -> ());
+    cancel_tick ctl;
     Hashtbl.iter (fun app _ -> release_actuation ctl app) ctl.entries;
     List.iter Split.live_detach ctl.splitters
   end

@@ -13,6 +13,8 @@ let g_depth_max = Tm.gauge "sim.queue_depth_max"
 
 type state = Pending | Fired | Cancelled
 
+type backend = [ `Heap | `Wheel ]
+
 type handle = {
   time : Time.t;
   seq : int;
@@ -21,19 +23,57 @@ type handle = {
   owner : t;
 }
 
+(* Two interchangeable queue implementations behind one total order: the
+   classic binary heap (O(log n) everywhere, the reference) and the
+   hierarchical timing wheel (O(1) insert, cursor-advance pops). Both yield
+   the exact (time, seq) order, so a run's output is byte-identical under
+   either — enforced by `make sched-smoke` and bench/diff.exe. *)
+and queue = QHeap of handle Heap.t | QWheel of handle Wheel.t
+
 and t = {
   mutable clock : Time.t;
   mutable next_seq : int;
-  q : handle Heap.t;
-  mutable dead : int; (* cancelled handles still buried in the heap *)
+  q : queue;
+  mutable dead : int; (* cancelled handles still buried in the queue *)
 }
 
 let compare_handle a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () =
-  { clock = Time.zero; next_seq = 0; q = Heap.create ~cmp:compare_handle; dead = 0 }
+let default = ref (`Wheel : backend)
+let set_default_backend b = default := b
+let default_backend () = !default
+
+let create ?backend () =
+  let backend = match backend with Some b -> b | None -> !default in
+  let q =
+    match backend with
+    | `Heap -> QHeap (Heap.create ~cmp:compare_handle)
+    | `Wheel ->
+        QWheel
+          (Wheel.create ~cmp:compare_handle ~time:(fun h -> h.time) ())
+  in
+  { clock = Time.zero; next_seq = 0; q; dead = 0 }
+
+let backend sim = match sim.q with QHeap _ -> `Heap | QWheel _ -> `Wheel
+
+let q_push sim h =
+  match sim.q with QHeap q -> Heap.push q h | QWheel w -> Wheel.push w h
+
+let q_pop sim =
+  match sim.q with QHeap q -> Heap.pop q | QWheel w -> Wheel.pop w
+
+let q_peek sim =
+  match sim.q with QHeap q -> Heap.peek q | QWheel w -> Wheel.peek w
+
+let q_size sim =
+  match sim.q with QHeap q -> Heap.size q | QWheel w -> Wheel.size w
+
+let q_filter sim ~keep =
+  match sim.q with
+  | QHeap q -> Heap.filter_in_place q ~keep
+  | QWheel w -> Wheel.filter_in_place w ~keep
 
 let now sim = sim.clock
 
@@ -57,21 +97,22 @@ let schedule_at sim ?label time fn =
   in
   let h = { time; seq = sim.next_seq; fn; state = Pending; owner = sim } in
   sim.next_seq <- sim.next_seq + 1;
-  Heap.push sim.q h;
+  q_push sim h;
   Tm.incr m_scheduled;
   h
 
 let schedule_after sim ?label span fn =
   schedule_at sim ?label (sim.clock + span) fn
 
-(* Periodic-timer churn (scheduler ticks, governor sampling) cancels events
-   constantly; reap the tombstones in bulk once they outnumber live events,
-   so the queue tracks the live population instead of growing with churn. *)
+(* Periodic-timer churn (governor sampling, re-armed demand wakeups) cancels
+   events constantly; reap the tombstones in bulk once they outnumber live
+   events, so the queue tracks the live population instead of growing with
+   churn. *)
 let maybe_reap sim =
-  if sim.dead > 64 && sim.dead * 2 > Heap.size sim.q then begin
+  if sim.dead > 64 && sim.dead * 2 > q_size sim then begin
     Tm.incr m_reap_passes;
     Tm.add m_reaped (float_of_int sim.dead);
-    Heap.filter_in_place sim.q ~keep:(fun h -> h.state = Pending);
+    q_filter sim ~keep:(fun h -> h.state = Pending);
     sim.dead <- 0
   end
 
@@ -86,21 +127,27 @@ let cancel h =
 
 let cancelled h = h.state = Cancelled
 
-(* Pop the next handle, discarding tombstones. *)
-let rec pop_live sim =
-  match Heap.pop sim.q with
-  | None -> None
+(* Advance past tombstones at the head of the queue. Every discarded
+   tombstone goes through the same reap accounting, so a run dominated by
+   either {!run} or {!run_until} still reaps in bulk. *)
+let rec peek_live sim =
+  match q_peek sim with
   | Some h when h.state = Cancelled ->
+      ignore (q_pop sim);
       sim.dead <- sim.dead - 1;
-      pop_live sim
-  | Some h -> Some h
+      maybe_reap sim;
+      peek_live sim
+  | other -> other
+
+let pop_live sim =
+  match peek_live sim with None -> None | Some _ -> q_pop sim
 
 (* Per-fire bookkeeping: the global fired counter, queue-depth gauges, and
    (only while a trace is being recorded) a decimated queue-depth timeline
    sample so huge runs stay exportable. *)
 let note_fired sim =
   Tm.incr m_fired;
-  let depth = float_of_int (Heap.size sim.q) in
+  let depth = float_of_int (q_size sim) in
   Tm.set g_depth depth;
   Tm.set_max g_depth_max depth;
   if
@@ -110,17 +157,13 @@ let note_fired sim =
 
 let run_until sim limit =
   let rec loop () =
-    match Heap.peek sim.q with
+    match peek_live sim with
     | Some h when h.time <= limit ->
-        ignore (Heap.pop sim.q);
-        (match h.state with
-        | Cancelled -> sim.dead <- sim.dead - 1
-        | Pending ->
-            h.state <- Fired;
-            sim.clock <- h.time;
-            note_fired sim;
-            h.fn ()
-        | Fired -> assert false);
+        ignore (q_pop sim);
+        h.state <- Fired;
+        sim.clock <- h.time;
+        note_fired sim;
+        h.fn ();
         loop ()
     | Some _ | None -> ()
   in
@@ -140,8 +183,8 @@ let run sim =
   in
   loop ()
 
-let pending sim = Heap.size sim.q - sim.dead
-let queue_length sim = Heap.size sim.q
+let pending sim = q_size sim - sim.dead
+let queue_length sim = q_size sim
 
 (* ------------------------------------------------------------------ *)
 (* Periodic events                                                      *)

@@ -21,7 +21,25 @@ type t
 type handle
 (** A handle on a scheduled event, usable to cancel it. *)
 
-val create : unit -> t
+type backend = [ `Heap | `Wheel ]
+(** Event-queue implementation: the reference binary heap, or the
+    hierarchical timing wheel ({!Wheel}). Both realise the exact
+    [(time, seq)] total order, so every run is byte-identical under
+    either; the wheel makes insert O(1) and pop cost proportional to the
+    current granule's population. *)
+
+val create : ?backend:backend -> unit -> t
+(** [create ()] uses the process default backend (initially [`Wheel];
+    see {!set_default_backend}). *)
+
+val set_default_backend : backend -> unit
+(** Set the backend used by subsequent {!create} calls without an explicit
+    [?backend] — the hook for a [--sched heap|wheel] CLI flag. *)
+
+val default_backend : unit -> backend
+
+val backend : t -> backend
+(** The queue implementation this simulator is running on. *)
 
 val now : t -> Time.t
 (** The current simulated time. *)

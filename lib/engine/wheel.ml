@@ -1,0 +1,187 @@
+(* Hashed hierarchical timing wheel (Varghese & Lauck) with an exact-order
+   front-end.
+
+   Layout: [levels] wheels of [2^wheel_bits] slots each. Level 0 slots are
+   [2^granularity_bits] ns wide (the granule); each higher level's slots are
+   [2^wheel_bits] times wider, so level [l] spans
+   [2^(granularity_bits + (l+1)*wheel_bits)] ns. Events beyond the top
+   level's horizon sit in an unordered [overflow] list.
+
+   Slot lists are unordered (O(1) insert). Exact [(time, seq)] FIFO order is
+   recovered by a small "ready" heap holding only the events of the current
+   granule: everything outside the ready heap provably fires at
+   [cursor + granule] or later, so heap order within the granule is the
+   global order. When the ready heap drains, [refill] advances the cursor to
+   the next non-empty slot — cascading higher-level slots (and finally the
+   overflow list) down through re-insertion, each event dropping at least
+   one level per cascade. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  time : 'a -> int;
+  g_bits : int; (* log2 of the level-0 slot width, ns *)
+  w_bits : int; (* log2 of the slot count per level *)
+  nlevels : int;
+  slot_mask : int; (* 2^w_bits - 1 *)
+  ready : 'a Heap.t; (* events of the current granule, exact order *)
+  levels : 'a list array array; (* levels.(l).(i): unordered *)
+  mutable overflow : 'a list; (* beyond the top level's horizon *)
+  mutable cursor : int; (* granule floor of the current position *)
+  mutable size : int;
+}
+
+let granule t = 1 lsl t.g_bits
+
+(* Width of one slot at level [l]. *)
+let slot_width t l = 1 lsl (t.g_bits + (l * t.w_bits))
+
+(* Total span covered by levels 0..l. *)
+let level_span t l = 1 lsl (t.g_bits + ((l + 1) * t.w_bits))
+let wheel_span t = level_span t (t.nlevels - 1)
+
+let create ?(granularity_bits = 16) ?(wheel_bits = 5) ?(levels = 6) ~cmp
+    ~time () =
+  if granularity_bits < 1 || wheel_bits < 1 || levels < 1 then
+    invalid_arg "Wheel.create: bits/levels must be positive";
+  if granularity_bits + (levels * wheel_bits) > 60 then
+    invalid_arg "Wheel.create: span exceeds the integer time domain";
+  {
+    cmp;
+    time;
+    g_bits = granularity_bits;
+    w_bits = wheel_bits;
+    nlevels = levels;
+    slot_mask = (1 lsl wheel_bits) - 1;
+    ready = Heap.create ~cmp;
+    levels =
+      Array.init levels (fun _ -> Array.make (1 lsl wheel_bits) []);
+    overflow = [];
+    cursor = 0;
+    size = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let cursor t = t.cursor
+let overflow_count t = List.length t.overflow
+let ready_count t = Heap.size t.ready
+
+let slot_index t l time = (time lsr (t.g_bits + (l * t.w_bits))) land t.slot_mask
+
+(* Does [time] fall inside the current rotation of level [l]? True iff it
+   shares the cursor's super-slot at level [l+1] — i.e. the bits above
+   level [l]'s index agree. *)
+let in_rotation t l time =
+  let shift = t.g_bits + ((l + 1) * t.w_bits) in
+  time lsr shift = t.cursor lsr shift
+
+(* Place one event (no size accounting). Events inside the current granule
+   go straight to the ready heap; later events go in the lowest level whose
+   current rotation covers them; events beyond every horizon overflow. *)
+let place t x =
+  let time = t.time x in
+  if time < t.cursor + granule t then Heap.push t.ready x
+  else begin
+    let rec find l =
+      if l >= t.nlevels then t.overflow <- x :: t.overflow
+      else if in_rotation t l time then
+        t.levels.(l).(slot_index t l time) <- x :: t.levels.(l).(slot_index t l time)
+      else find (l + 1)
+    in
+    find 0
+  end
+
+let push t x =
+  if t.time x < 0 then invalid_arg "Wheel.push: negative time";
+  place t x;
+  t.size <- t.size + 1
+
+(* Advance the cursor to the next non-empty slot and repopulate the ready
+   heap. Invariants relied on: every event outside the ready heap is at
+   [cursor + granule] or later; the cursor's own slot at every level is
+   empty (placement always finds a strictly lower level for such times). *)
+let rec refill t =
+  if Heap.size t.ready = 0 && t.size > 0 then begin
+    (* lowest level with a non-empty slot later in its current rotation *)
+    let rec scan_levels l =
+      if l >= t.nlevels then cascade_overflow t
+      else begin
+        let wheel = t.levels.(l) in
+        let cur = slot_index t l t.cursor in
+        let rec scan i =
+          if i > t.slot_mask then scan_levels (l + 1)
+          else
+            match wheel.(i) with
+            | [] -> scan (i + 1)
+            | events ->
+                wheel.(i) <- [];
+                (* rotation base: cursor with the bits at and below this
+                   level's index cleared, then the found index written in *)
+                let low_mask = level_span t l - 1 in
+                t.cursor <-
+                  t.cursor land lnot low_mask lor (i * slot_width t l);
+                if l = 0 then List.iter (Heap.push t.ready) events
+                else begin
+                  (* cascade: each event re-places at least one level down *)
+                  List.iter (place t) events;
+                  refill t
+                end
+        in
+        scan (cur + 1)
+      end
+    in
+    scan_levels 0
+  end
+
+and cascade_overflow t =
+  match t.overflow with
+  | [] -> () (* size > 0 but nothing anywhere: impossible; keep total order *)
+  | first :: rest ->
+      let min_time =
+        List.fold_left
+          (fun acc x -> min acc (t.time x))
+          (t.time first) rest
+      in
+      let events = t.overflow in
+      t.overflow <- [];
+      (* jump to the granule holding the earliest far-future event; events
+         still beyond the new horizon simply overflow again *)
+      t.cursor <- min_time land lnot (granule t - 1);
+      List.iter (place t) events;
+      refill t
+
+let peek t =
+  refill t;
+  Heap.peek t.ready
+
+let pop t =
+  refill t;
+  match Heap.pop t.ready with
+  | None -> None
+  | Some x ->
+      t.size <- t.size - 1;
+      Some x
+
+let filter_in_place t ~keep =
+  Heap.filter_in_place t.ready ~keep;
+  let kept = ref (Heap.size t.ready) in
+  for l = 0 to t.nlevels - 1 do
+    let wheel = t.levels.(l) in
+    for i = 0 to t.slot_mask do
+      match wheel.(i) with
+      | [] -> ()
+      | events ->
+          let events = List.filter keep events in
+          wheel.(i) <- events;
+          kept := !kept + List.length events
+    done
+  done;
+  t.overflow <- List.filter keep t.overflow;
+  kept := !kept + List.length t.overflow;
+  t.size <- !kept
+
+let clear t =
+  Heap.clear t.ready;
+  Array.iter (fun wheel -> Array.fill wheel 0 (Array.length wheel) []) t.levels;
+  t.overflow <- [];
+  t.size <- 0

@@ -1,0 +1,68 @@
+(** Hashed hierarchical timing wheel (Varghese & Lauck) with an exact-order
+    front-end.
+
+    A wheel stores elements keyed by a non-negative integer time and pops
+    them in the exact order of a caller-supplied comparator (which must
+    refine the time order — e.g. [(time, seq)] for FIFO-within-instant).
+    Near-future elements hash into O(1) unordered slot lists across
+    [levels] wheels of [2^wheel_bits] slots whose widths grow by
+    [2^wheel_bits] per level, starting at [2^granularity_bits] time units;
+    elements beyond the top level's horizon wait in an overflow list and
+    cascade back in when the cursor reaches them. Exact ordering is
+    recovered by a small heap holding only the current granule's elements,
+    so pop cost tracks the population of one granule, not the whole queue.
+
+    Times must not decrease below the wheel's cursor position once elements
+    have been popped past them — which holds for any discrete-event queue
+    that never schedules into the past. *)
+
+type 'a t
+
+val create :
+  ?granularity_bits:int ->
+  ?wheel_bits:int ->
+  ?levels:int ->
+  cmp:('a -> 'a -> int) ->
+  time:('a -> int) ->
+  unit ->
+  'a t
+(** [create ~cmp ~time ()] builds an empty wheel. Defaults: 16 granularity
+    bits (65.536 µs granules at 1 ns resolution), 5 wheel bits (32 slots
+    per level), 6 levels (≈ 19.5 h horizon).
+    @raise Invalid_argument if any size parameter is non-positive or the
+    total span exceeds the integer time domain. *)
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if [time x] is negative. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element under [cmp]. *)
+
+val peek : 'a t -> 'a option
+(** Return the minimum element without removing it. Like {!pop}, may
+    advance the internal cursor and cascade slots. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val filter_in_place : 'a t -> keep:('a -> bool) -> unit
+(** Drop every element for which [keep] is [false] (tombstone reaping). *)
+
+(** {1 Introspection} — layout observers for tests and diagnostics. *)
+
+val granule : 'a t -> int
+(** Width of a level-0 slot. *)
+
+val level_span : 'a t -> int -> int
+(** [level_span t l] is the total time span covered by levels [0..l]. *)
+
+val wheel_span : 'a t -> int
+(** Horizon of the top level; later elements overflow. *)
+
+val cursor : 'a t -> int
+(** Granule floor of the current position. *)
+
+val overflow_count : 'a t -> int
+val ready_count : 'a t -> int
+(** Elements currently in the overflow list / the exact-order front heap. *)

@@ -40,6 +40,7 @@ type t = {
   name : string;
   units : int;
   rail : Power_rail.t;
+  activity : unit Bus.t; (* published on each idle-to-busy edge *)
   mutable dvfs : Dvfs.t option;
   mutable factor : float; (* cached speed factor of the current OPP *)
   mutable waiting : command list; (* FIFO, head = oldest *)
@@ -128,11 +129,13 @@ and start_cmd dev cmd =
   let now = Sim.now dev.sim in
   accumulate_busy dev;
   cmd.started_at <- Some now;
+  let was_idle = dev.busy_units_now = 0 in
   dev.busy_units_now <- dev.busy_units_now + cmd.units;
   let r = { cmd; remaining_s = cmd.work_s; last_update = now; completion = None } in
   schedule_completion dev r;
   dev.running <- r :: dev.running;
-  update_power dev
+  update_power dev;
+  if was_idle then Bus.publish dev.activity ()
 
 and start_waiting dev =
   if not dev.suspended && not dev.resuming then
@@ -172,6 +175,7 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
         Power_rail.create ?retention
           ?floor_w:(match autosuspend with Some _ -> Some suspend_w | None -> None)
           sim ~name ~idle_w;
+      activity = Bus.create ();
       dvfs = None;
       factor = 1.0;
       waiting = [];
@@ -206,7 +210,10 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
     dev.util_mark_accum <- dev.active_accum;
     util
   in
-  let d = Dvfs.create sim ~name:dev.name ~opps ~governor ~get_util () in
+  let d =
+    Dvfs.create sim ~name:dev.name ~activity:dev.activity ~opps ~governor
+      ~get_util ()
+  in
   dev.dvfs <- Some d;
   ignore
     (Bus.subscribe (Dvfs.changes d) (fun _ ->

@@ -12,6 +12,7 @@ type t = {
   mutable util_mark : Time.t; (* governor window start *)
   mutable util_mark_accum : Time.span; (* active time at window start *)
   rail : Power_rail.t;
+  activity : unit Bus.t; (* published on each idle-to-busy edge *)
   mutable dvfs : Dvfs.t option;
 }
 
@@ -75,6 +76,7 @@ let create sim ?retention ?(name = "cpu") ?(opps = default_opps)
       util_mark = Sim.now sim;
       util_mark_accum = 0;
       rail = Power_rail.create ?retention sim ~name ~idle_w;
+      activity = Bus.create ();
       dvfs = None;
     }
   in
@@ -90,7 +92,10 @@ let create sim ?retention ?(name = "cpu") ?(opps = default_opps)
     cpu.util_mark_accum <- total;
     util
   in
-  let d = Dvfs.create sim ~name:"cpu" ~opps ~governor ~get_util () in
+  let d =
+    Dvfs.create sim ~name:"cpu" ~activity:cpu.activity ~opps ~governor
+      ~get_util ()
+  in
   cpu.dvfs <- Some d;
   ignore (Bus.subscribe (Dvfs.changes d) (fun _ -> update_power cpu));
   update_power cpu;
@@ -112,7 +117,9 @@ let set_core_busy cpu ~core busy =
     if (not was_active) && is_active then cpu.active_since <- now
     else if was_active && not is_active then
       cpu.active_accum <- cpu.active_accum + (now - cpu.active_since);
-    update_power cpu
+    update_power cpu;
+    (* after the accounting so a woken governor reads a fresh window *)
+    if (not was_active) && is_active then Bus.publish cpu.activity ()
   end
 
 let core_busy cpu ~core = cpu.busy.(core)

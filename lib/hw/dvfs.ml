@@ -19,9 +19,11 @@ type t = {
   changes : change Bus.t;
   name : string;
   tm_transitions : Tm.counter;
+  tm_samples : Tm.counter; (* pre-resolved: samples are one-shot events *)
+  epoch : Time.t; (* anchor of the sampling grid (creation time) *)
   mutable index : int;
   mutable ceiling : int;
-  mutable tick : Sim.periodic option;
+  mutable next : Sim.handle option; (* armed sample; None while parked *)
   mutable stopped : bool;
   mutable frozen : bool;
 }
@@ -45,31 +47,69 @@ let set_index d i =
       { at = Sim.now d.sim; index_before = before; index_after = i; opp = d.opps.(i) }
   end
 
-let governor_tick d up_threshold () =
+(* Demand-armed governor sampling. Samples stay on the creation-epoch grid
+   (epoch + k*sampling) so an active device behaves exactly like the old
+   periodic timer; a device that reads zero utilization while already at
+   the bottom OPP parks instead of re-arming, and an activity edge (or an
+   externally raised OPP, or a thaw) unparks it. *)
+let rec arm d ~up_threshold ~sampling =
+  let k = ((Sim.now d.sim - d.epoch) / sampling) + 1 in
+  d.next <-
+    Some
+      (Sim.schedule_at d.sim (d.epoch + (k * sampling)) (fun () ->
+           sample d ~up_threshold ~sampling))
+
+and sample d ~up_threshold ~sampling =
+  d.next <- None;
   if not d.stopped then begin
+    Tm.incr d.tm_samples;
     let util = d.get_util () in
     if not d.frozen then begin
       if util >= up_threshold then set_index d (Array.length d.opps - 1)
       else set_index d (d.index - 1)
-    end
+    end;
+    (* a frozen governor keeps sampling: each read resets the utilization
+       window, so the first decision after a thaw sees one period of load,
+       not the whole frozen stretch *)
+    if not (util = 0.0 && d.index = 0 && not d.frozen) then
+      arm d ~up_threshold ~sampling
   end
 
-let create sim ?(name = "dvfs") ~opps ~governor ~get_util () =
+let parked d =
+  match (d.governor, d.next) with
+  | Ondemand _, None -> not d.stopped
+  | _ -> false
+
+let unpark d =
+  match d.governor with
+  | Ondemand { up_threshold; sampling } -> (
+      match d.next with
+      | Some _ -> ()
+      | None ->
+          if not d.stopped then begin
+            (* discard the idle stretch, as the periodic governor's regular
+               reads would have, so the next sample's window starts here *)
+            ignore (d.get_util ());
+            arm d ~up_threshold ~sampling
+          end)
+  | Performance | Userspace -> ()
+
+let create sim ?(name = "dvfs") ?activity ~opps ~governor ~get_util () =
   if Array.length opps = 0 then invalid_arg "Dvfs.create: no OPPs";
   let index = match governor with Performance -> Array.length opps - 1 | Ondemand _ | Userspace -> 0 in
   let d =
     { sim; opps; governor; get_util; changes = Bus.create (); name;
       tm_transitions = Tm.counter (Printf.sprintf "dvfs.%s.transitions" name);
-      index; ceiling = Array.length opps - 1; tick = None;
-      stopped = false; frozen = false }
+      tm_samples = Tm.counter ("sim.events.dvfs." ^ name);
+      epoch = Sim.now sim; index; ceiling = Array.length opps - 1;
+      next = None; stopped = false; frozen = false }
   in
   (match governor with
-  | Ondemand { up_threshold; sampling } ->
-      d.tick <-
-        Some
-          (Sim.schedule_every sim ~label:("dvfs." ^ name) sampling
-             (governor_tick d up_threshold))
+  | Ondemand { up_threshold; sampling } -> arm d ~up_threshold ~sampling
   | Performance | Userspace -> ());
+  (match activity with
+  | Some bus -> ignore (Bus.subscribe bus (fun () -> unpark d))
+  | None -> ());
   d
 
 let name d = d.name
@@ -77,7 +117,12 @@ let name d = d.name
 let opp_index d = d.index
 let current d = d.opps.(d.index)
 let opps d = d.opps
-let set_opp d i = set_index d i
+
+let set_opp d i =
+  set_index d i;
+  (* an externally raised OPP must decay again even on an idle device *)
+  if d.index > 0 then unpark d
+
 let max_index d = Array.length d.opps - 1
 let changes d = d.changes
 
@@ -89,9 +134,19 @@ let set_ceiling d i =
   if d.index > i then set_index d i
 
 let freeze d = d.frozen <- true
-let thaw d = d.frozen <- false
+
+let thaw d =
+  d.frozen <- false;
+  (* a freeze taken while parked suppressed unparks; catch up if the
+     device meanwhile sits above the bottom OPP *)
+  if d.index > 0 then unpark d
+
 let frozen d = d.frozen
 
 let stop d =
   d.stopped <- true;
-  match d.tick with Some p -> Sim.cancel_every p | None -> ()
+  match d.next with
+  | Some h ->
+      Sim.cancel h;
+      d.next <- None
+  | None -> ()

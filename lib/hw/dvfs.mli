@@ -37,22 +37,35 @@ type t
 val create :
   Psbox_engine.Sim.t ->
   ?name:string ->
+  ?activity:unit Psbox_engine.Bus.t ->
   opps:opp array ->
   governor:governor ->
   get_util:(unit -> float) ->
   unit ->
   t
 (** [get_util] must return the device utilization (0..1) accumulated since
-    the previous call; the governor samples it on a {!Psbox_engine.Sim}
-    periodic timer. Whenever the OPP index moves, a {!change} is published
-    on {!changes} (the owner subscribes to update its rail). The initial
-    OPP is the lowest (or highest for [Performance]); setting it publishes
-    nothing.
+    the previous call; the ondemand governor samples it on the fixed grid
+    [creation + k*sampling]. Whenever the OPP index moves, a {!change} is
+    published on {!changes} (the owner subscribes to update its rail). The
+    initial OPP is the lowest (or highest for [Performance]); setting it
+    publishes nothing.
+
+    Sampling is demand-armed: a sample that reads zero utilization with the
+    device already at the bottom OPP {e parks} the governor instead of
+    re-arming, so an idle device costs no simulator events. [?activity] is
+    the un-parking signal — the owner publishes on it at each idle-to-busy
+    edge; {!set_opp} raising the OPP and {!thaw} also unpark. An unpark
+    discards the idle stretch from the utilization window and resumes on
+    the original sampling grid.
 
     [?name] (default ["dvfs"]) labels the instance in telemetry: OPP moves
-    count under [dvfs.<name>.transitions], the governor's sampling tick
-    under [sim.events.dvfs.<name>], and traced transitions appear as a lane
+    count under [dvfs.<name>.transitions], governor samples under
+    [sim.events.dvfs.<name>], and traced transitions appear as a lane
     of the ["hw.dvfs"] track with a [<name>.freq_mhz] counter timeline. *)
+
+val parked : t -> bool
+(** An ondemand governor with no armed sample (idle device at the bottom
+    OPP, waiting for activity). Always [false] for other governors. *)
 
 val name : t -> string
 

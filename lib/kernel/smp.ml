@@ -53,6 +53,7 @@ type quota_state = {
   mutable q_limit : float; (* core-seconds of runtime per second, >= 0 *)
   mutable q_used : Time.span; (* runtime consumed in the current period *)
   mutable q_throttled : bool;
+  mutable q_event : Sim.handle option; (* analytic quota-crossing wakeup *)
 }
 
 type balloon = {
@@ -74,8 +75,20 @@ type t = {
   cfg : config;
   rqs : Cfs.t array;
   curr_started : Time.t array;
+  dispatched : Time.t array;
+      (* when the core's current entity won the CPU (unlike [curr_started]
+         this does not advance on accounting updates); dispatched + tick is
+         the minimum quantum before a planned preemption/rotation, which is
+         the role the tick grid played in the polling scheduler *)
   work_events : Sim.handle option array;
-  tick_events : Sim.periodic option array;
+  plan_events : Sim.handle option array;
+      (* per-core demand wakeup: the analytically-computed next interesting
+         instant (vruntime crossing / idle pickup / balloon inner rotation)
+         replaces the seed's blind per-core 1 ms tick *)
+  mutable balloon_event : Sim.handle option;
+      (* single machine-wide wakeup at the live balloon's next boundary:
+         min(max_period expiry, earliest loan-cap crossing, the instant the
+         balloon loses the credit race on its last winning core) *)
   span_tag : int option array; (* app code of the open trace span per core *)
   task_entities : (int, Entity.t) Hashtbl.t; (* tid -> entity when unsandboxed *)
   apps : (int, Task.t list ref) Hashtbl.t;
@@ -88,7 +101,11 @@ type t = {
   share_bus : share_change Bus.t;
   share_counts : (int, int) Hashtbl.t; (* app -> cores currently running it *)
   quotas : (int, quota_state) Hashtbl.t;
-  mutable quota_tick : Sim.periodic option;
+  mutable quota_epoch : Time.t option;
+      (* grid anchor for refill boundaries (epoch + k * quota_period), fixed
+         by the first quota ever set so demand-armed refills land on the
+         same instants a periodic timer would have *)
+  mutable quota_next : Sim.handle option; (* armed refill boundary, if any *)
   (* telemetry handles, resolved once at create; lanes precomputed so the
      tracing hot path allocates nothing when recording is off *)
   tm_switch : Tm.counter;
@@ -97,6 +114,13 @@ type t = {
   tm_unthrottles : Tm.counter;
   tm_wake_lat : Tm.histogram;
   tm_lanes : string array;
+  (* demand-wakeup fire counters, pre-resolved (these are hot one-shots,
+     so the per-call ?label lookup of Sim.schedule_at is avoided) *)
+  tm_ev_preempt : Tm.counter;
+  tm_ev_rotate : Tm.counter;
+  tm_ev_balloon : Tm.counter;
+  tm_ev_quota : Tm.counter;
+  tm_ev_refill : Tm.counter;
 }
 
 let create sim cpu ?(config = default_config) () =
@@ -107,8 +131,10 @@ let create sim cpu ?(config = default_config) () =
     cfg = config;
     rqs = Array.init n (fun core -> Cfs.create ~core);
     curr_started = Array.make n Time.zero;
+    dispatched = Array.make n Time.zero;
     work_events = Array.make n None;
-    tick_events = Array.make n None;
+    plan_events = Array.make n None;
+    balloon_event = None;
     span_tag = Array.make n None;
     task_entities = Hashtbl.create 64;
     apps = Hashtbl.create 16;
@@ -121,7 +147,8 @@ let create sim cpu ?(config = default_config) () =
     share_bus = Bus.create ();
     share_counts = Hashtbl.create 16;
     quotas = Hashtbl.create 8;
-    quota_tick = None;
+    quota_epoch = None;
+    quota_next = None;
     tm_switch = Tm.counter "smp.ctx_switches";
     tm_core_switch =
       Array.init n (fun core ->
@@ -132,6 +159,11 @@ let create sim cpu ?(config = default_config) () =
       Tm.histogram "smp.wakeup_latency_us"
         ~edges:[| 1.; 10.; 100.; 1_000.; 10_000. |];
     tm_lanes = Array.init n (Printf.sprintf "core%d");
+    tm_ev_preempt = Tm.counter "sim.events.smp.preempt";
+    tm_ev_rotate = Tm.counter "sim.events.smp.rotate";
+    tm_ev_balloon = Tm.counter "sim.events.smp.balloon_boundary";
+    tm_ev_quota = Tm.counter "sim.events.smp.quota_enforce";
+    tm_ev_refill = Tm.counter "sim.events.smp.quota_refill";
   }
 
 let cpu smp = smp.cpu
@@ -169,6 +201,11 @@ let running_app smp ~core =
 
 let share_bus smp = smp.share_bus
 
+(* Forward hook into the quota planner (defined at the end of the module):
+   an app's running-core count is the rate at which its quota drains, so
+   every share change must re-aim the app's quota-crossing wakeup. *)
+let quota_share_hook : (t -> int -> unit) ref = ref (fun _ _ -> ())
+
 (* Running-core counts feed the share bus (live attribution): the idle
    tags (-1 / -2) never count, so a balloon-forced-idle core contributes
    no CPU share. Publishing is near-free when nothing subscribes. *)
@@ -180,8 +217,12 @@ let note_share smp app delta =
     let nw = cur + delta in
     Hashtbl.replace smp.share_counts app nw;
     Bus.publish smp.share_bus
-      { at = Sim.now smp.sim; app; share = float_of_int nw }
+      { at = Sim.now smp.sim; app; share = float_of_int nw };
+    if Hashtbl.mem smp.quotas app then !quota_share_hook smp app
   end
+
+let shares_of smp app =
+  match Hashtbl.find_opt smp.share_counts app with Some c -> c | None -> 0
 
 let set_span smp core tag =
   let now = Sim.now smp.sim in
@@ -258,6 +299,54 @@ let update_curr smp core =
         | None -> ());
         smp.curr_started.(core) <- now
       end
+
+(* ------------------------------------------------------------------ *)
+(* Demand-driven wakeup planning                                        *)
+
+(* Analytic plans aim a wakeup at a vruntime crossing computed in floats;
+   anything projected further out than this horizon is re-checked at the
+   horizon instead (the fire handler verifies against live state and
+   re-arms, so a clamped plan is never wrong, only re-derived). *)
+let plan_horizon = Time.sec 60
+
+let cancel_plan smp core =
+  match smp.plan_events.(core) with
+  | Some h ->
+      Sim.cancel h;
+      smp.plan_events.(core) <- None
+  | None -> ()
+
+let cancel_balloon_event smp =
+  match smp.balloon_event with
+  | Some h ->
+      Sim.cancel h;
+      smp.balloon_event <- None
+  | None -> ()
+
+(* Projected vruntime of the core's current entity at the present instant,
+   without touching the accounting ([update_curr] materialises the same
+   quantity when the wakeup actually fires). *)
+let curr_vruntime_now smp core e =
+  let delta = Sim.now smp.sim - smp.curr_started.(core) in
+  let charging =
+    match e.Entity.kind with
+    | Entity.EGroup g -> smp.cfg.confine_cost || g.Entity.gcurr <> None
+    | Entity.ETask _ -> true
+  in
+  if delta <= 0 || not charging then e.Entity.vruntime
+  else
+    e.Entity.vruntime
+    +. (float_of_int delta *. Cfs.nice0_weight /. e.Entity.weight)
+
+(* Nanoseconds until a charged entity's vruntime grows by [dv], clamped to
+   the planning horizon. *)
+let ns_until_dv ~weight dv =
+  if dv <= 0.0 then 0
+  else
+    let dt = dv *. weight /. Cfs.nice0_weight in
+    if Float.is_finite dt && dt < float_of_int plan_horizon then
+      int_of_float dt + 1
+    else plan_horizon
 
 let put_prev smp core =
   let rq = smp.rqs.(core) in
@@ -366,6 +455,11 @@ and start_task smp core t =
   schedule_work smp core t
 
 and run smp core next =
+  do_run smp core next;
+  (* every dispatch decision changes what the next interesting instant is *)
+  replan smp core
+
+and do_run smp core next =
   let rq = smp.rqs.(core) in
   match next with
   | None ->
@@ -375,6 +469,7 @@ and run smp core next =
       Cfs.dequeue rq e;
       Cfs.set_curr rq (Some e);
       smp.curr_started.(core) <- Sim.now smp.sim;
+      smp.dispatched.(core) <- Sim.now smp.sim;
       match e.Entity.kind with
       | Entity.ETask t -> start_task smp core t
       | Entity.EGroup g -> (
@@ -491,7 +586,8 @@ and start_balloon smp core b =
   if cores smp = 1 then begin
     b.b_started <- Sim.now smp.sim;
     b.b_metering <- true;
-    b.b_on_start ()
+    b.b_on_start ();
+    replan_balloon smp b
   end
   else
     for j = 0 to cores smp - 1 do
@@ -523,13 +619,30 @@ and join_balloon smp b j =
     if b.b_joined = cores smp then begin
       b.b_started <- Sim.now smp.sim;
       b.b_metering <- true;
-      b.b_on_start ()
+      b.b_on_start ();
+      replan_balloon smp b
     end
   end
 
 and cosched_out smp ?(local = 0) b =
+  cancel_balloon_event smp;
   for i = 0 to cores smp - 1 do
     update_curr smp i
+  done;
+  (* settle every loan to its exact supremum before redistribution (the
+     tick-driven scheduler sampled this at most a tick late) *)
+  for i = 0 to cores smp - 1 do
+    let e = b.b_entities.(i) in
+    let best =
+      List.find_opt
+        (fun e' -> e'.Entity.eid <> e.Entity.eid)
+        (Cfs.queued smp.rqs.(i))
+    in
+    match (e.Entity.kind, best) with
+    | Entity.EGroup g, Some best ->
+        g.Entity.loan <-
+          Float.max g.Entity.loan (e.Entity.vruntime -. best.Entity.vruntime)
+    | _ -> ()
   done;
   b.b_live <- false;
   smp.live <- None;
@@ -617,12 +730,244 @@ and inner_rotate smp core =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Demand wakeups (replacing the periodic tick)
+
+   Instead of polling every core every tick, the scheduler computes the
+   next instant at which a tick would have acted — a waiter's vruntime
+   undercutting the runner's, a balloon boundary, an idle pickup — and
+   schedules exactly one event there. Every fire handler re-derives the
+   decision from live state before acting (verify-and-re-arm), so a plan
+   built from slightly stale projections is never wrong, only re-aimed. *)
+
+and replan smp core =
+  match smp.live with
+  | Some b when b.b_live ->
+      replan_rotate smp core;
+      replan_balloon smp b
+  | Some _ | None -> replan_core smp core
+
+and replan_core smp core =
+  cancel_plan smp core;
+  if not smp.stopped then begin
+    let rq = smp.rqs.(core) in
+    let now = Sim.now smp.sim in
+    match (Cfs.curr rq, Cfs.leftmost rq) with
+    | None, Some _ ->
+        (* idle core with queued work: pick it up this instant (the
+           polling scheduler waited for the next tick) *)
+        smp.plan_events.(core) <-
+          Some (Sim.schedule_at smp.sim now (fun () -> plan_fired smp core))
+    | Some c, Some l ->
+        (* the instant the waiter's static vruntime undercuts the runner's
+           growing one, floored by one tick as the minimum quantum. The
+           preemption test is strict, so a tie must re-check >= 1 ns later
+           (same-instant re-arms would loop), and a non-charging runner
+           (confined group sitting idle) never crosses at all — chain at
+           the horizon instead. *)
+        let v = curr_vruntime_now smp core c in
+        let dv = l.Entity.vruntime -. v in
+        let charging =
+          match c.Entity.kind with
+          | Entity.EGroup g -> smp.cfg.confine_cost || g.Entity.gcurr <> None
+          | Entity.ETask _ -> true
+        in
+        let at =
+          if dv < 0.0 then now
+          else if not charging then now + plan_horizon
+          else now + max 1 (ns_until_dv ~weight:c.Entity.weight dv)
+        in
+        let at = max at (smp.dispatched.(core) + smp.cfg.tick) in
+        smp.plan_events.(core) <-
+          Some (Sim.schedule_at smp.sim at (fun () -> plan_fired smp core))
+    | (Some _ | None), None -> ()
+  end
+
+(* Next inner-rotation instant of a live balloon's group on [core]: the
+   earliest crossing between the inner runner's growing vruntime and a
+   runnable sibling's static one, floored by one tick. *)
+and replan_rotate smp core =
+  cancel_plan smp core;
+  if not smp.stopped then begin
+    let rq = smp.rqs.(core) in
+    match Cfs.curr rq with
+    | Some { Entity.kind = Entity.EGroup g; _ } -> (
+        let now = Sim.now smp.sim in
+        match g.Entity.gcurr with
+        | None -> (
+            match Entity.group_pick g with
+            | Some _ ->
+                smp.plan_events.(core) <-
+                  Some
+                    (Sim.schedule_at smp.sim now (fun () ->
+                         plan_fired smp core))
+            | None -> ())
+        | Some t ->
+            let delta = now - smp.curr_started.(core) in
+            let v =
+              if delta <= 0 then t.Task.vruntime
+              else
+                t.Task.vruntime
+                +. (float_of_int delta *. Cfs.nice0_weight /. t.Task.weight)
+            in
+            let next =
+              List.fold_left
+                (fun acc t' ->
+                  if t'.Task.tid <> t.Task.tid && Task.is_runnable t' then
+                    (* [group_pick] breaks vruntime ties by list order, so a
+                       tie may keep the current task — re-check >= 1 ns
+                       later, never at the same instant *)
+                    let dv = t'.Task.vruntime -. v in
+                    let at =
+                      if dv < 0.0 then now
+                      else now + max 1 (ns_until_dv ~weight:t.Task.weight dv)
+                    in
+                    match acc with
+                    | None -> Some at
+                    | Some a -> Some (min a at)
+                  else acc)
+                None g.Entity.gtasks
+            in
+            (match next with
+            | Some at ->
+                let at = max at (smp.dispatched.(core) + smp.cfg.tick) in
+                smp.plan_events.(core) <-
+                  Some
+                    (Sim.schedule_at smp.sim at (fun () -> plan_fired smp core))
+            | None -> ()))
+    | Some _ | None -> ()
+  end
+
+and plan_fired smp core =
+  smp.plan_events.(core) <- None;
+  if not smp.stopped then begin
+    update_curr smp core;
+    match smp.live with
+    | Some b when b.b_live ->
+        Tm.incr smp.tm_ev_rotate;
+        inner_rotate smp core;
+        (* inner_rotate re-plans through resched/run if it acted *)
+        (match smp.plan_events.(core) with
+        | None -> replan smp core
+        | Some _ -> ())
+    | Some _ | None -> (
+        Tm.incr smp.tm_ev_preempt;
+        let rq = smp.rqs.(core) in
+        match (Cfs.curr rq, Cfs.leftmost rq) with
+        | Some c, Some l when l.Entity.vruntime < c.Entity.vruntime ->
+            resched smp core
+        | None, Some _ -> resched smp core
+        | _ -> replan_core smp core)
+  end
+
+(* One machine-wide wakeup at the live balloon's next boundary:
+   min over (max_period expiry; the earliest loan-cap crossing on any
+   core; the latest instant at which the balloon still wins some core's
+   credit race — after it, wins = 0). All three are exact projections of
+   the conditions [balloon_tick] checks; the fire handler re-evaluates
+   them on materialised accounting. *)
+and replan_balloon smp b =
+  cancel_balloon_event smp;
+  if (not smp.stopped) && b.b_live && b.b_metering then begin
+    let now = Sim.now smp.sim in
+    let at = ref (b.b_started + smp.cfg.max_period + 1) in
+    (* running max of per-core win-loss instants; None = some core has no
+       waiter, so wins can never reach zero *)
+    let lose_all = ref (Some now) in
+    for i = 0 to cores smp - 1 do
+      let e = b.b_entities.(i) in
+      let rq = smp.rqs.(i) in
+      let best =
+        List.find_opt
+          (fun e' -> e'.Entity.eid <> e.Entity.eid)
+          (Cfs.queued rq)
+      in
+      let charging =
+        curr_is rq e
+        &&
+        match e.Entity.kind with
+        | Entity.EGroup g -> smp.cfg.confine_cost || g.Entity.gcurr <> None
+        | Entity.ETask _ -> true
+      in
+      let v =
+        if curr_is rq e then curr_vruntime_now smp i e else e.Entity.vruntime
+      in
+      match best with
+      | None -> lose_all := None
+      | Some best ->
+          let dv = best.Entity.vruntime -. v in
+          let t_lose =
+            if dv < 0.0 then now
+            else if charging then
+              now + max 1 (ns_until_dv ~weight:e.Entity.weight dv)
+            else now + plan_horizon
+          in
+          (match !lose_all with
+          | Some acc -> lose_all := Some (max acc t_lose)
+          | None -> ());
+          (match e.Entity.kind with
+          | Entity.EGroup g ->
+              if g.Entity.loan > smp.cfg.max_loan then at := min !at now
+              else if charging then begin
+                let dv_cap = smp.cfg.max_loan +. best.Entity.vruntime -. v in
+                at :=
+                  min !at
+                    (now + max 1 (ns_until_dv ~weight:e.Entity.weight dv_cap))
+              end
+          | Entity.ETask _ -> ())
+    done;
+    (match !lose_all with
+    | Some t -> at := min !at (max t now)
+    | None -> ());
+    let at = min !at (now + plan_horizon) in
+    smp.balloon_event <-
+      Some (Sim.schedule_at smp.sim (max at now) (fun () -> balloon_fired smp))
+  end
+
+and balloon_fired smp =
+  smp.balloon_event <- None;
+  if not smp.stopped then
+    match smp.live with
+    | Some b when b.b_live ->
+        Tm.incr smp.tm_ev_balloon;
+        for i = 0 to cores smp - 1 do
+          update_curr smp i
+        done;
+        (* If this boundary schedules the balloon out, the [local] core
+           rescheds this instant and the rest after the IPI — so hand
+           "local" to the core whose waiting competitor has the best
+           claim. (The tick-driven scheduler got an equivalent rotation
+           for free from its staggered per-core ticks; without this,
+           core 0 would always repick first and could restart the same
+           balloon forever, starving a competing sandbox.) *)
+        let local = ref 0 and best_v = ref infinity in
+        for i = 0 to cores smp - 1 do
+          let e = b.b_entities.(i) in
+          match
+            List.find_opt
+              (fun e' -> e'.Entity.eid <> e.Entity.eid)
+              (Cfs.queued smp.rqs.(i))
+          with
+          | Some w when w.Entity.vruntime < !best_v ->
+              best_v := w.Entity.vruntime;
+              local := i
+          | Some _ | None -> ()
+        done;
+        balloon_tick smp ~local:!local b;
+        if b.b_live then replan_balloon smp b
+    | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Quota enforcement                                                    *)
 
 (* Take an over-quota app off the CPUs: queued entities are removed, cores
    running it reschedule (put_prev's throttle guard keeps them off the
    queue). Sandboxed apps are exempt (see [entity_throttled]). *)
 let throttle smp app q =
+  (match q.q_event with
+  | Some h ->
+      Sim.cancel h;
+      q.q_event <- None
+  | None -> ());
   q.q_throttled <- true;
   Tm.incr smp.tm_throttles;
   if Tt.recording () then
@@ -644,59 +989,33 @@ let throttle smp app q =
     | Some _ | None -> ()
   done
 
-let enforce_quota smp core =
-  if smp.live = None then
-    match running_app smp ~core with
-    | None -> ()
-    | Some app -> (
-        match Hashtbl.find_opt smp.quotas app with
-        | Some q
-          when (not q.q_throttled)
-               && balloon_of_app smp app = None
-               && Time.to_sec_f q.q_used
-                  >= q.q_limit *. Time.to_sec_f smp.cfg.quota_period ->
-            throttle smp app q
-        | Some _ | None -> ())
-
 (* ------------------------------------------------------------------ *)
-(* Ticks                                                                *)
-
-let tick smp core =
-  if not smp.stopped then begin
-    update_curr smp core;
-    match smp.live with
-    | Some b ->
-        inner_rotate smp core;
-        (* bookkeeping runs on every core's (staggered) tick, so balloon
-           boundaries are enforced at sub-tick granularity *)
-        if b.b_live then balloon_tick smp ~local:core b
-    | None -> (
-        enforce_quota smp core;
-        let rq = smp.rqs.(core) in
-        match (Cfs.curr rq, Cfs.leftmost rq) with
-        | Some c, Some l when l.Entity.vruntime < c.Entity.vruntime ->
-            resched smp core
-        | None, Some _ -> resched smp core
-        | _ -> ())
-  end
+(* Start / stop                                                         *)
 
 let start smp =
+  (* no periodic ticks: each core's resched ends in a demand re-plan *)
   for core = 0 to cores smp - 1 do
-    let offset = core * (smp.cfg.tick / cores smp) in
-    smp.tick_events.(core) <-
-      Some
-        (Sim.schedule_every smp.sim
-           ~start:(Sim.now smp.sim + smp.cfg.tick + offset)
-           ~label:"smp.tick" smp.cfg.tick
-           (fun () -> tick smp core));
     resched smp core
   done
 
 let stop smp =
   smp.stopped <- true;
-  Array.iter (function Some p -> Sim.cancel_every p | None -> ()) smp.tick_events;
+  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.plan_events;
   Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.work_events;
-  (match smp.quota_tick with Some p -> Sim.cancel_every p | None -> ());
+  cancel_balloon_event smp;
+  Hashtbl.iter
+    (fun _ q ->
+      match q.q_event with
+      | Some h ->
+          Sim.cancel h;
+          q.q_event <- None
+      | None -> ())
+    smp.quotas;
+  (match smp.quota_next with
+  | Some h ->
+      Sim.cancel h;
+      smp.quota_next <- None
+  | None -> ());
   (match smp.live with Some b -> cosched_out smp b | None -> ());
   Trace.close_all smp.trace (Sim.now smp.sim)
 
@@ -705,6 +1024,10 @@ let stop smp =
 
 let preempt_check smp core e =
   match smp.live with
+  | Some b when b.b_live ->
+      (* the enqueue changed some core's best waiter: re-aim the balloon
+         boundary at the new credit-race geometry *)
+      replan_balloon smp b
   | Some _ -> ()
   | None -> (
       let rq = smp.rqs.(core) in
@@ -712,7 +1035,11 @@ let preempt_check smp core e =
       | None -> resched smp core
       | Some c ->
           if e.Entity.vruntime +. smp.cfg.wakeup_granularity < c.Entity.vruntime
-          then resched smp core)
+          then resched smp core
+          else
+            (* no immediate preemption; the crossing with the new waiter
+               still needs a planned wakeup *)
+            replan_core smp core)
 
 let wake smp t =
   match t.Task.state with
@@ -726,11 +1053,13 @@ let wake smp t =
           let e = b.b_entities.(core) in
           match smp.live with
           | Some b' when b' == b ->
-              (* already forced in; make sure the core picks the waker up *)
+              (* already forced in; make sure the core picks the waker up,
+                 or re-aim the rotation plan at the new runnable member *)
               if curr_is rq e then
                 (match e.Entity.kind with
                 | Entity.EGroup g ->
                     if g.Entity.gcurr = None then resched smp core
+                    else replan smp core
                 | Entity.ETask _ -> ())
           | _ ->
               if (not e.Entity.on_rq) && not (curr_is rq e) then begin
@@ -779,7 +1108,9 @@ let spawn smp t =
       match smp.live with
       | Some b' when b' == b ->
           (match e.Entity.kind with
-          | Entity.EGroup g -> if g.Entity.gcurr = None then resched smp core
+          | Entity.EGroup g ->
+              if g.Entity.gcurr = None then resched smp core
+              else replan smp core
           | Entity.ETask _ -> ())
       | _ ->
           if (not e.Entity.on_rq) && not (curr_is rq e) then begin
@@ -830,22 +1161,131 @@ let quota_refill smp () =
         if q.q_throttled then unthrottle smp app q)
       smp.quotas
 
-(* The refill timer starts lazily with the first quota, so an unbudgeted
-   machine schedules exactly the same events as before this feature. *)
-let ensure_quota_tick smp =
-  match smp.quota_tick with
-  | Some _ -> ()
-  | None ->
-      smp.quota_tick <-
+(* The app's quota drains at [running-core-count] core-ns per ns, so the
+   projected balance pins the enforcement instant exactly; consumed time
+   still inside the cores' accounting windows is folded into the
+   projection without materialising it. *)
+let quota_used_now smp app q =
+  let now = Sim.now smp.sim in
+  let extra = ref 0 in
+  for core = 0 to cores smp - 1 do
+    match running_app smp ~core with
+    | Some a when a = app -> extra := !extra + (now - smp.curr_started.(core))
+    | Some _ | None -> ()
+  done;
+  q.q_used + !extra
+
+let rec replan_quota smp app =
+  match Hashtbl.find_opt smp.quotas app with
+  | None -> ()
+  | Some q ->
+      (match q.q_event with
+      | Some h ->
+          Sim.cancel h;
+          q.q_event <- None
+      | None -> ());
+      if
+        (not smp.stopped) && (not q.q_throttled)
+        && balloon_of_app smp app = None
+      then begin
+        let ncores = shares_of smp app in
+        if ncores > 0 then begin
+          let limit_ns = q.q_limit *. float_of_int smp.cfg.quota_period in
+          let used_ns = float_of_int (quota_used_now smp app q) in
+          let dt =
+            if used_ns >= limit_ns then 1
+            else begin
+              let d = (limit_ns -. used_ns) /. float_of_int ncores in
+              if Float.is_finite d && d < float_of_int plan_horizon then
+                int_of_float d + 1
+              else plan_horizon
+            end
+          in
+          q.q_event <-
+            Some
+              (Sim.schedule_after smp.sim dt (fun () -> quota_fired smp app))
+        end
+      end
+
+and quota_fired smp app =
+  match Hashtbl.find_opt smp.quotas app with
+  | None -> ()
+  | Some q ->
+      q.q_event <- None;
+      if not smp.stopped then begin
+        Tm.incr smp.tm_ev_quota;
+        for core = 0 to cores smp - 1 do
+          match running_app smp ~core with
+          | Some a when a = app -> update_curr smp core
+          | Some _ | None -> ()
+        done;
+        let in_balloon =
+          match smp.live with Some _ -> true | None -> false
+        in
+        if
+          (not in_balloon) && (not q.q_throttled)
+          && balloon_of_app smp app = None
+          && shares_of smp app > 0
+          && Time.to_sec_f q.q_used
+             >= q.q_limit *. Time.to_sec_f smp.cfg.quota_period
+        then throttle smp app q
+        else replan_quota smp app
+      end
+
+(* Refill boundaries stay on the epoch grid the first quota pinned, but a
+   boundary is only armed while some budgeted app is consuming (or
+   throttled); skipped boundaries are exact no-ops — every balance is
+   already zero and nothing is waiting. *)
+let rec arm_refill smp =
+  match (smp.quota_epoch, smp.quota_next) with
+  | Some epoch, None when not smp.stopped ->
+      let period = smp.cfg.quota_period in
+      let k = ((Sim.now smp.sim - epoch) / period) + 1 in
+      smp.quota_next <-
         Some
-          (Sim.schedule_every smp.sim ~label:"smp.quota_refill"
-             smp.cfg.quota_period (quota_refill smp))
+          (Sim.schedule_at smp.sim
+             (epoch + (k * period))
+             (fun () -> refill_fired smp))
+  | _ -> ()
+
+and refill_fired smp =
+  smp.quota_next <- None;
+  if not smp.stopped then begin
+    Tm.incr smp.tm_ev_refill;
+    quota_refill smp ();
+    Hashtbl.iter (fun app _ -> replan_quota smp app) smp.quotas;
+    let active =
+      Hashtbl.fold
+        (fun app _ acc -> acc || shares_of smp app > 0)
+        smp.quotas false
+    in
+    if active then arm_refill smp
+  end
+
+(* The grid starts lazily with the first quota, so an unbudgeted machine
+   schedules exactly the same events as before this feature. *)
+let ensure_quota_tick smp =
+  (match smp.quota_epoch with
+  | Some _ -> ()
+  | None -> smp.quota_epoch <- Some (Sim.now smp.sim));
+  arm_refill smp
+
+let () =
+  quota_share_hook :=
+    fun smp app ->
+      replan_quota smp app;
+      arm_refill smp
 
 let set_quota smp ~app limit =
   match limit with
   | None -> (
       match Hashtbl.find_opt smp.quotas app with
       | Some q ->
+          (match q.q_event with
+          | Some h ->
+              Sim.cancel h;
+              q.q_event <- None
+          | None -> ());
           if q.q_throttled then unthrottle smp app q;
           Hashtbl.remove smp.quotas app
       | None -> ())
@@ -855,8 +1295,9 @@ let set_quota smp ~app limit =
       | Some q -> q.q_limit <- l
       | None ->
           Hashtbl.replace smp.quotas app
-            { q_limit = l; q_used = 0; q_throttled = false });
-      ensure_quota_tick smp
+            { q_limit = l; q_used = 0; q_throttled = false; q_event = None });
+      ensure_quota_tick smp;
+      replan_quota smp app
 
 let quota smp ~app =
   match Hashtbl.find_opt smp.quotas app with
@@ -935,6 +1376,10 @@ let sandbox smp ~app =
     entities;
   (* cores whose curr was one of the app's tasks must reschedule *)
   List.iter (fun core -> resched smp core) (List.sort_uniq compare !touched_cores);
+  (* the group entities just enqueued change every core's next crossing *)
+  for core = 0 to cores smp - 1 do
+    replan smp core
+  done;
   b
 
 let unsandbox smp b =
@@ -975,7 +1420,10 @@ let unsandbox smp b =
           g.Entity.gtasks <- []
       | Entity.ETask _ -> ())
     b.b_entities;
-  List.iter (fun core -> resched smp core) (List.sort_uniq compare !touched)
+  List.iter (fun core -> resched smp core) (List.sort_uniq compare !touched);
+  for core = 0 to cores smp - 1 do
+    replan smp core
+  done
 
 let set_balloon_listener b ~on_start ~on_stop =
   b.b_on_start <- on_start;

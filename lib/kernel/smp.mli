@@ -1,7 +1,9 @@
 (** Multicore CFS scheduler with psbox spatial balloons.
 
-    One {!Cfs.t} instance per core, 1 ms ticks, wakeup preemption, and the
-    paper's two CPU extensions (§4.2):
+    One {!Cfs.t} instance per core, demand-driven preemption timers (the
+    scheduler computes the next quota-refill / vruntime-crossing / balloon
+    boundary analytically and arms exactly one event per core), wakeup
+    preemption, and the paper's two CPU extensions (§4.2):
 
     - {b Spatial balloons}: when a sandboxed app's per-core group entity wins
       a core, the scheduler coschedules the app on {e all} cores of the
@@ -16,7 +18,9 @@
     psbox virtual power meter can attribute rail power. *)
 
 type config = {
-  tick : Psbox_engine.Time.span;  (** scheduler tick period (default 1 ms) *)
+  tick : Psbox_engine.Time.span;
+      (** minimum preemption granularity (default 1 ms): a running task is
+          never preempted on credit grounds sooner than this after dispatch *)
   wakeup_granularity : float;  (** vruntime headroom before wake preemption *)
   ipi_delay : Psbox_engine.Time.span;  (** shootdown propagation (default 5 us) *)
   max_loan : float;
@@ -48,7 +52,7 @@ val cpu : t -> Psbox_hw.Cpu.t
 val cores : t -> int
 
 val start : t -> unit
-(** Arm periodic ticks and begin scheduling. Call once. *)
+(** Begin scheduling (plans the first preemption instants). Call once. *)
 
 (** {1 Tasks} *)
 
@@ -137,7 +141,7 @@ val running_app : t -> core:int -> int option
 (** App of the task actually executing on a core right now (idle = None). *)
 
 val stop : t -> unit
-(** Cancel ticks (end of simulation). *)
+(** Cancel all armed timers (end of simulation). *)
 
 (**/**)
 

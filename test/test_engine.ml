@@ -571,6 +571,91 @@ let test_timeline_retention () =
     (Float.abs (Timeline.integrate tl (Time.ms 9_100) (Time.sec 10) -. exact_recent)
     < 1e-9)
 
+(* ---- Timing wheel --------------------------------------------------- *)
+
+(* Walk one element through every layer of a tiny wheel (granule 16 ns,
+   4 slots per level, 2 levels, span 256 ns): ready heap, level-0 slot,
+   level-1 slot (cascades down on reach), overflow list (cascades back in
+   when the wheel runs dry). *)
+let test_wheel_cascade_boundaries () =
+  let w =
+    Wheel.create ~granularity_bits:4 ~wheel_bits:2 ~levels:2 ~cmp:compare
+      ~time:(fun x -> x) ()
+  in
+  check_int "granule" 16 (Wheel.granule w);
+  check_int "level-0 span" 64 (Wheel.level_span w 0);
+  check_int "wheel span" 256 (Wheel.wheel_span w);
+  List.iter (Wheel.push w) [ 5; 20; 100; 1000 ];
+  check_int "size" 4 (Wheel.size w);
+  check_int "current granule sits in the ready heap" 1 (Wheel.ready_count w);
+  check_int "beyond the top level overflows" 1 (Wheel.overflow_count w);
+  check_int "pop 5" 5 (Option.get (Wheel.pop w));
+  check_int "pop 20" 20 (Option.get (Wheel.pop w));
+  check_int "cursor advanced to 20's granule" 16 (Wheel.cursor w);
+  (* 100 lives in a level-1 slot: popping it forces a cascade to level 0 *)
+  check_int "pop 100 (level-1 cascade)" 100 (Option.get (Wheel.pop w));
+  check_int "cursor at 100's granule" 96 (Wheel.cursor w);
+  (* the wheel is now dry: peeking cascades the overflow list back in *)
+  check_int "peek 1000" 1000 (Option.get (Wheel.peek w));
+  check_int "overflow rehomed" 0 (Wheel.overflow_count w);
+  check_int "cursor jumped to 1000's granule floor" 992 (Wheel.cursor w);
+  check_int "pop 1000" 1000 (Option.get (Wheel.pop w));
+  check_bool "empty after" true (Wheel.is_empty w);
+  (* granule-boundary placement: the last ns of the current granule is
+     ready, the first ns of the next granule is not *)
+  let c = Wheel.cursor w in
+  Wheel.push w (c + 15);
+  Wheel.push w (c + 16);
+  check_int "below cursor+granule is ready" 1 (Wheel.ready_count w);
+  Wheel.clear w;
+  check_bool "clear empties" true (Wheel.is_empty w);
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Wheel.push: negative time") (fun () ->
+      Wheel.push w (-1))
+
+(* Heap and wheel must realise the exact same (time, seq) total order:
+   interpret a random program of schedule/cancel/run_until ops against
+   both backends and require identical fire sequences, firing clocks,
+   observed pending counts, and final clocks. Far-future schedules (the
+   [* 2_000_000] arm) push events past the wheel's 19.5 h horizon, so the
+   overflow cascade is on the tested path. *)
+let prop_backends_agree =
+  QCheck.Test.make ~name:"heap and wheel realise the same schedule"
+    ~count:100
+    QCheck.(list (triple (int_bound 3) (int_bound 200_000_000) bool))
+    (fun ops ->
+      let trace backend =
+        let sim = Sim.create ~backend () in
+        let log = ref [] in
+        let handles = ref [] in
+        let k = ref 0 in
+        List.iter
+          (fun (op, dt, far) ->
+            match op with
+            | 0 | 3 ->
+                incr k;
+                let id = !k in
+                let dt = if far && op = 0 then dt * 2_000_000 else dt in
+                handles :=
+                  Sim.schedule_after sim dt (fun () ->
+                      log := (id, Sim.now sim) :: !log)
+                  :: !handles
+            | 1 -> (
+                match !handles with
+                | h :: rest when far ->
+                    Sim.cancel h;
+                    handles := rest
+                | _ -> ())
+            | _ ->
+                Sim.run_until sim (Sim.now sim + dt);
+                log := (-1, Sim.now sim) :: !log;
+                log := (-2, Sim.pending sim) :: !log)
+          ops;
+        Sim.run sim;
+        (List.rev !log, Sim.now sim, Sim.pending sim)
+      in
+      trace `Heap = trace `Wheel)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -611,6 +696,7 @@ let suite =
     ("sim schedule_every start", `Quick, test_sim_schedule_every_start);
     ("sim schedule_every re-arms first", `Quick, test_sim_schedule_every_rearms_before_body);
     ("heap filter_in_place", `Quick, test_heap_filter_in_place);
+    ("wheel cascade boundaries", `Quick, test_wheel_cascade_boundaries);
     ("timeline energy_at", `Quick, test_timeline_energy_at);
     ("timeline compact", `Quick, test_timeline_compact);
     ("timeline retention", `Quick, test_timeline_retention);
@@ -623,4 +709,5 @@ let suite =
     qcheck prop_timeline_integral_additive;
     qcheck prop_timeline_integral_nonneg;
     qcheck prop_stats_mean_bounds;
+    qcheck prop_backends_agree;
   ]
