@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-diff trace-smoke audit-smoke \
-	sched-smoke smoke clean
+	sched-smoke fleet-smoke smoke clean
 
 all: build
 
@@ -46,6 +46,17 @@ sched-smoke:
 	cmp _build/sched-heap.txt _build/sched-wheel.txt
 	@echo "sched-smoke: heap and wheel outputs byte-identical"
 
+# Run a small fleet sequentially and sharded over 4 domains, and require
+# the two JSON reports to be byte-identical: the work-stealing pool and
+# the mergeable-snapshot reduction must be invisible in the output.
+fleet-smoke:
+	dune exec bin/psbox_sim.exe -- fleet --devices 24 --jobs 1 --seed 42 \
+		--scenario budget --fleet-out _build/fleet-j1.json
+	dune exec bin/psbox_sim.exe -- fleet --devices 24 --jobs 4 --seed 42 \
+		--scenario budget --fleet-out _build/fleet-j4.json
+	cmp _build/fleet-j1.json _build/fleet-j4.json
+	@echo "fleet-smoke: jobs 1 and jobs 4 fleet JSON byte-identical"
+
 # Fast end-to-end confidence: full build, the whole test suite, one reduced
 # experiment driven through the real CLI, a validated trace export, a
 # bit-exactly conserved joule audit, and heap/wheel output equality.
@@ -56,6 +67,7 @@ smoke:
 	$(MAKE) trace-smoke
 	$(MAKE) audit-smoke
 	$(MAKE) sched-smoke
+	$(MAKE) fleet-smoke
 	dune exec bench/diff.exe
 
 clean:

@@ -21,6 +21,7 @@ module W = Psbox_workloads.Workload
 module T = Psbox_engine.Time
 module Telemetry = Psbox_telemetry
 module Audit = Psbox_audit.Audit
+module Fleet = Psbox_fleet.Fleet
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every table and figure                            *)
@@ -172,6 +173,15 @@ let bench_budget_capped () =
   Psbox_budget.Budget.stop ctl;
   System.shutdown sys
 
+(* An 8-device budget-scenario fleet shard, sequential: full per-device
+   System + heterogeneity sampling + capped co-run + reduction into the
+   fleet summary. Sequential so the number is per-device simulation cost,
+   not domain-spawn overhead. *)
+let bench_fleet_shard () =
+  ignore
+    (Fleet.run ~jobs:1 ~scenario:"budget" ~devices:8 ~seed:42 ()
+      : Fleet.summary)
+
 (* One list drives both the Bechamel tests and the events/sec pass, so the
    two sections of the JSON snapshot use identical names. *)
 let bench_cases =
@@ -185,6 +195,9 @@ let bench_cases =
     ("sidechan: DTW, 140-point traces", bench_dtw);
     ("meter: integrate 10k-breakpoint rail", bench_integrate);
     ("fig6 prior: usage-split sweep, 2k spans", bench_usage_split);
+    (* last: a fleet shard allocates dozens of Systems and grows the major
+       heap, which would tax the allocation-heavy benches after it *)
+    ("fleet: 8-device budget shard, sequential", bench_fleet_shard);
   ]
 
 let tests =
@@ -207,6 +220,22 @@ let events_per_sec () =
       let df = Telemetry.Metrics.counter_value fired -. f0 in
       ("psbox/" ^ name, if dt > 0.0 then df /. dt else 0.0))
     bench_cases
+
+(* Fleet throughput at the recommended domain count: devices simulated per
+   wall second, the number sharding exists to raise. Rides along in the
+   events_per_sec section of the JSON (informational in bench/diff.exe).
+   On a single-CPU host this is roughly the sequential rate minus
+   domain-spawn overhead. *)
+let fleet_throughput () =
+  let jobs = Domain.recommended_domain_count () in
+  let devices = 64 in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Fleet.run ~jobs ~scenario:"budget" ~devices ~seed:42 () : Fleet.summary);
+  let dt = Unix.gettimeofday () -. t0 in
+  ( Printf.sprintf "psbox/fleet: devices/sec, %d devices @ jobs=%d" devices
+      jobs,
+    if dt > 0.0 then float_of_int devices /. dt else 0.0 )
 
 let microbench () =
   print_endline "=====================================================";
@@ -324,7 +353,7 @@ let () =
   Audit.enable ();
   if not micro_only then regenerate ();
   let rows = microbench () in
-  let eps = events_per_sec () in
+  let eps = events_per_sec () @ [ fleet_throughput () ] in
   print_endline "  simulated-event throughput (one run each):";
   List.iter
     (fun (name, v) -> Printf.printf "  %-52s %12.0f events/s\n" name v)

@@ -6,7 +6,10 @@
      psbox_sim all                     run everything, in paper order
      psbox_sim trace-check <file>      validate an exported Chrome trace
 
+     psbox_sim fleet                   simulate a device population
+
    Telemetry options (on `run`, `all`, and the default command):
+     --seed INT         override every experiment's built-in seed
      --trace-out FILE   record a structured trace of the run and export it
                         as Chrome trace-event JSON (chrome://tracing)
      --metrics          print the deterministic metrics snapshot afterwards
@@ -23,6 +26,7 @@ module Registry = Psbox_experiments.Registry
 module Report = Psbox_experiments.Report
 module Telemetry = Psbox_telemetry
 module Audit = Psbox_audit.Audit
+module Fleet = Psbox_fleet.Fleet
 
 let list_cmd =
   let doc = "List the available experiments (one per paper table/figure)." in
@@ -70,6 +74,15 @@ let sched_arg =
     & opt (enum backends) (Psbox_engine.Sim.default_backend ())
     & info [ "sched" ] ~docv:"SCHED" ~doc)
 
+let seed_arg =
+  let doc =
+    "Override every selected experiment's built-in seed with $(docv). Each \
+     experiment normally uses its own default seed; one --seed value pins \
+     them all, so two invocations with the same --seed (and experiment \
+     list) are byte-identical."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"INT" ~doc)
+
 let flame_out_arg =
   let doc =
     "Write folded stacks ($(i,rail;app;subsystem;cause microjoules), one \
@@ -85,7 +98,7 @@ let with_formatter_to path f =
   Format.pp_print_flush fmt ();
   close_out oc
 
-let run_ids sched trace_out metrics audit_out flame_out ids =
+let run_ids sched seed trace_out metrics audit_out flame_out ids =
   Psbox_engine.Sim.set_default_backend sched;
   (* Auditing is the default: a pure observer whose cost the probe bench
      bounds. Report mode (which retains every machine for the final
@@ -99,7 +112,7 @@ let run_ids sched trace_out metrics audit_out flame_out ids =
   | None -> ());
   let run_one id =
     match Registry.find id with
-    | Some e -> Report.print (e.Registry.e_run ())
+    | Some e -> Report.print (e.Registry.e_run ?seed ())
     | None ->
         Printf.eprintf "unknown experiment %S; try `psbox_sim list`\n" id;
         exit 2
@@ -149,19 +162,108 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_ids $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
-      $ flame_out_arg $ ids)
+      const run_ids $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+      $ audit_out_arg $ flame_out_arg $ ids)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run sched trace_out metrics audit_out flame_out =
-    run_ids sched trace_out metrics audit_out flame_out
+  let run sched seed trace_out metrics audit_out flame_out =
+    run_ids sched seed trace_out metrics audit_out flame_out
       (List.map (fun e -> e.Registry.e_id) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
-      $ flame_out_arg)
+      const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+      $ audit_out_arg $ flame_out_arg)
+
+let fleet_cmd =
+  let doc =
+    "Simulate a fleet of heterogeneous devices and reduce their results \
+     into population-level distributions."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Instantiates $(b,--devices) independent device simulations, each a \
+         full machine plus workload scenario under its own splitmix-derived \
+         seed and heterogeneity sample (rail idle floor, core count, \
+         governor trip point, workload intensity, cap), sharded over \
+         $(b,--jobs) OCaml domains with work stealing. Per-device results \
+         (energy per app, cap violations, joule-audit cause totals, \
+         telemetry exports) merge into fleet distributions.";
+      `P
+        "The report is deterministic in (scenario, seed, devices) alone: \
+         byte-identical across repeated runs and across $(b,--jobs) values.";
+    ]
+  in
+  let devices_arg =
+    let doc = "Number of devices to simulate." in
+    Arg.(value & opt int 64 & info [ "devices" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains to shard across (default: the machine's recommended \
+       domain count). $(b,--jobs 1) runs sequentially with byte-identical \
+       output."
+    in
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "jobs" ] ~docv:"J" ~doc)
+  in
+  let fleet_seed_arg =
+    let doc = "Fleet seed; every per-device seed derives from it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
+  in
+  let scenario_arg =
+    let doc =
+      Printf.sprintf "Workload scenario: %s."
+        (String.concat ", " Fleet.scenario_ids)
+    in
+    Arg.(value & opt string "budget" & info [ "scenario" ] ~docv:"ID" ~doc)
+  in
+  let fleet_out_arg =
+    let doc = "Write the fleet report as deterministic JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "fleet-out" ] ~docv:"FILE" ~doc)
+  in
+  let run sched devices jobs seed scenario fleet_out =
+    Psbox_engine.Sim.set_default_backend sched;
+    if not (List.mem scenario Fleet.scenario_ids) then begin
+      Printf.eprintf "unknown scenario %S; available: %s\n" scenario
+        (String.concat ", " Fleet.scenario_ids);
+      exit 2
+    end;
+    if devices < 0 || jobs < 1 then begin
+      Printf.eprintf "fleet: --devices must be >= 0 and --jobs >= 1\n";
+      exit 2
+    end;
+    let summary = Fleet.run ~jobs ~scenario ~devices ~seed () in
+    Printf.printf
+      "fleet: %d device(s), scenario %s, seed %d, %d job(s)\n" devices
+      scenario seed jobs;
+    Printf.printf "  violation rate %.1f%%  total J p50=%.3f p99=%.3f\n"
+      (summary.Fleet.s_violation_rate *. 100.0)
+      summary.Fleet.s_total.Fleet.p50 summary.Fleet.s_total.Fleet.p99;
+    List.iter
+      (fun (cls, d) ->
+        Printf.printf "  %-12s p50=%.3f p95=%.3f p99=%.3f J\n" cls
+          d.Fleet.p50 d.Fleet.p95 d.Fleet.p99)
+      summary.Fleet.s_energy;
+    match fleet_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Fleet.json_string summary);
+        close_out oc;
+        Printf.printf "fleet: wrote JSON report to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc ~man)
+    Term.(
+      const run $ sched_arg $ devices_arg $ jobs_arg $ fleet_seed_arg
+      $ scenario_arg $ fleet_out_arg)
 
 let trace_check_cmd =
   let doc =
@@ -281,17 +383,17 @@ let audit_check_cmd =
    (`psbox_sim --trace-out t.json budget`). *)
 let default_term =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run sched trace_out metrics audit_out flame_out ids =
+  let run sched seed trace_out metrics audit_out flame_out ids =
     match ids with
     | [] -> `Help (`Pager, None)
     | ids ->
-        run_ids sched trace_out metrics audit_out flame_out ids;
+        run_ids sched seed trace_out metrics audit_out flame_out ids;
         `Ok ()
   in
   Term.(
     ret
-      (const run $ sched_arg $ trace_out_arg $ metrics_arg $ audit_out_arg
-     $ flame_out_arg $ ids))
+      (const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+     $ audit_out_arg $ flame_out_arg $ ids))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in
@@ -299,4 +401,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; all_cmd; trace_check_cmd; audit_check_cmd ]))
+          [
+            list_cmd; run_cmd; all_cmd; fleet_cmd; trace_check_cmd;
+            audit_check_cmd;
+          ]))

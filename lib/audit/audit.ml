@@ -55,15 +55,15 @@ type rstate = {
 
 type t = { a_sys : System.t; a_rails : (string, rstate) Hashtbl.t }
 
+(* All five cause counters resolved at load — no lazily-populated shared
+   memo for concurrent devices to race on. *)
 let m_cause =
-  let tbl = Hashtbl.create 8 in
-  fun cause ->
-    match Hashtbl.find_opt tbl cause with
-    | Some c -> c
-    | None ->
-        let c = Tm.counter ("audit.cause." ^ cause_label cause ^ "_j") in
-        Hashtbl.replace tbl cause c;
-        c
+  let cells =
+    List.map
+      (fun c -> (c, Tm.counter ("audit.cause." ^ cause_label c ^ "_j")))
+      all_causes
+  in
+  fun cause -> List.assq cause cells
 
 (* Split the rail's current draw into (app, cause, watts) parts. The
    parts need not sum to the draw bit-exactly: read-time rows re-derive
@@ -125,20 +125,36 @@ let set_share rs at app share =
   end
   else Hashtbl.remove rs.rs_shares app
 
-(* ---- process-wide switchboard ------------------------------------- *)
+(* ---- per-domain switchboard ---------------------------------------- *)
 
-let on = ref false
-let hook_installed = ref false
-let report_mode = ref false
-let registry : t list ref = ref [] (* strong, newest first *)
+(* Domain-local, like the boot hooks it piggybacks on: a fleet worker
+   enabling or attaching audits never touches the main domain's report
+   registry or lookup table. *)
+type switchboard = {
+  mutable sw_on : bool;
+  mutable sw_hook : bool;
+  mutable sw_report : bool;
+  mutable sw_registry : t list; (* strong, newest first *)
+  (* uid -> weak instance: live machines resolve deterministically, dead
+     ones stay collectable (the instance is kept alive by the machine's own
+     bus subscriptions, not by this table). *)
+  sw_live : (int, t Weak.t) Hashtbl.t;
+}
 
-(* uid -> weak instance: live machines resolve deterministically, dead
-   ones stay collectable (the instance is kept alive by the machine's own
-   bus subscriptions, not by this table). *)
-let live : (int, t Weak.t) Hashtbl.t = Hashtbl.create 8
+let sw_key : switchboard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sw_on = false;
+        sw_hook = false;
+        sw_report = false;
+        sw_registry = [];
+        sw_live = Hashtbl.create 8;
+      })
+
+let sw () = Domain.DLS.get sw_key
 
 let lookup sys =
-  match Hashtbl.find_opt live (System.uid sys) with
+  match Hashtbl.find_opt (sw ()).sw_live (System.uid sys) with
   | Some w -> Weak.get w 0
   | None -> None
 
@@ -258,26 +274,30 @@ let attach sys =
                      | _ -> ()))));
       let w = Weak.create 1 in
       Weak.set w 0 (Some a);
-      Hashtbl.replace live (System.uid sys) w;
-      if !report_mode then registry := a :: !registry;
+      let s = sw () in
+      Hashtbl.replace s.sw_live (System.uid sys) w;
+      if s.sw_report then s.sw_registry <- a :: s.sw_registry;
       a
 
 let enable () =
-  on := true;
-  if not !hook_installed then begin
-    hook_installed := true;
-    System.on_boot (fun sys -> if !on then ignore (attach sys : t))
+  let s = sw () in
+  s.sw_on <- true;
+  if not s.sw_hook then begin
+    s.sw_hook <- true;
+    System.on_boot (fun sys -> if (sw ()).sw_on then ignore (attach sys : t))
   end
 
-let disable () = on := false
-let enabled () = !on
+let disable () = (sw ()).sw_on <- false
+let enabled () = (sw ()).sw_on
 
 let reset () =
-  Hashtbl.reset live;
-  registry := []
+  let s = sw () in
+  Hashtbl.reset s.sw_live;
+  s.sw_registry <- []
 
-let set_report_mode b = report_mode := b
-let instances () = List.rev !registry
+let set_report_mode b = (sw ()).sw_report <- b
+let report_mode () = (sw ()).sw_report
+let instances () = List.rev (sw ()).sw_registry
 let system a = a.a_sys
 
 (* ---- reading the blame matrix ------------------------------------- *)

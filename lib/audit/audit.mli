@@ -53,9 +53,16 @@ val cause_label : cause -> string
 
 val cause_of_label : string -> cause option
 
+val all_causes : cause list
+(** Every cause, canonical order — the row order of fleet cause tables. *)
+
 type t
 
-(** {1 Process-wide switchboard} *)
+(** {1 Per-domain switchboard}
+
+    The switchboard (enable flag, report registry, attach memo) is
+    domain-local: a fleet worker domain auditing its devices never touches
+    the main domain's registry, and vice versa. *)
 
 val enable : unit -> unit
 (** Attach an audit ledger to every machine built from now on (installs a
@@ -78,6 +85,10 @@ val set_report_mode : bool -> unit
     a strong registry (creation order) so a one-shot CLI can render a
     report covering every machine the run built. Off by default: without
     it, dead machines and their ledgers are garbage-collected. *)
+
+val report_mode : unit -> bool
+(** Current report-mode setting of this domain — save/restore it around a
+    scope that must not pollute the report registry (fleet devices). *)
 
 val attach : Psbox_kernel.System.t -> t
 (** Attach an audit ledger to one machine explicitly (tests; {!enable} is

@@ -16,6 +16,19 @@ let create ~seed = { state = mix64 (Int64.of_int seed) }
 let bits64 rng = mix64 (next_state rng)
 let split rng = { state = bits64 rng }
 
+(* Child seed [i] of a parent seed, independent of any draw order: the
+   parent state jumps [i + 1] gammas ahead and is mixed once more. Two
+   mixing rounds keep children decorrelated from each other and from the
+   parent's own output stream (which never uses the +1 offset pattern at
+   rest). *)
+let derive ~seed i =
+  if i < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  let parent = mix64 (Int64.of_int seed) in
+  let jumped =
+    Int64.add parent (Int64.mul (Int64.of_int (i + 1)) golden_gamma)
+  in
+  Int64.to_int (mix64 (mix64 jumped))
+
 let int rng n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   let v = Int64.to_int (Int64.shift_right_logical (bits64 rng) 2) in

@@ -11,6 +11,13 @@ val create : seed:int -> t
 val split : t -> t
 (** [split rng] derives an independent stream; the parent stream advances. *)
 
+val derive : seed:int -> int -> int
+(** [derive ~seed i] is the [i]-th child seed of [seed], computed purely
+    from [(seed, i)] (SplitMix jump + remix) — no parent state advances, so
+    children can be derived in any order, from any domain, and always
+    agree. This is how a fleet seed fans out into per-device seeds.
+    @raise Invalid_argument if [i < 0]. *)
+
 val bits64 : t -> int64
 (** The next raw 64-bit output. *)
 

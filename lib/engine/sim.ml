@@ -41,12 +41,18 @@ let compare_handle a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let default = ref (`Wheel : backend)
-let set_default_backend b = default := b
-let default_backend () = !default
+(* The default backend is domain-local: a worker domain (fleet shard)
+   choosing its backend never races with, or leaks into, any other domain.
+   Fresh domains start on the wheel; a CLI --sched choice must be re-applied
+   inside each spawned domain (the fleet pool does). *)
+let default_key = Domain.DLS.new_key (fun () -> (`Wheel : backend))
+let set_default_backend b = Domain.DLS.set default_key b
+let default_backend () = Domain.DLS.get default_key
 
 let create ?backend () =
-  let backend = match backend with Some b -> b | None -> !default in
+  let backend =
+    match backend with Some b -> b | None -> default_backend ()
+  in
   let q =
     match backend with
     | `Heap -> QHeap (Heap.create ~cmp:compare_handle)

@@ -34,7 +34,9 @@ val create : ?backend:backend -> unit -> t
 
 val set_default_backend : backend -> unit
 (** Set the backend used by subsequent {!create} calls without an explicit
-    [?backend] — the hook for a [--sched heap|wheel] CLI flag. *)
+    [?backend] — the hook for a [--sched heap|wheel] CLI flag. The setting
+    is domain-local: each domain picks its own default (fresh domains start
+    on [`Wheel]), so concurrent fleet shards never race on it. *)
 
 val default_backend : unit -> backend
 

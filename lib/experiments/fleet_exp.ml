@@ -1,0 +1,53 @@
+module Fleet = Psbox_fleet.Fleet
+
+(* A population study small enough for `run all`: 64 heterogeneous devices
+   through the budget scenario, sequentially (the CLI's `fleet` subcommand
+   is the scaled, sharded entry point). *)
+let devices = 64
+
+let fmt_j v = Printf.sprintf "%.3f J" v
+let fmt_share v = Printf.sprintf "%.1f%%" (v *. 100.0)
+
+let dist_row label (d : Fleet.dist) =
+  [ label; fmt_j d.p50; fmt_j d.p95; fmt_j d.p99; fmt_j d.mean ]
+
+let run ?(seed = 42) () =
+  let s = Fleet.run ~scenario:"budget" ~devices ~seed () in
+  let energy_rows =
+    List.map (fun (cls, d) -> dist_row cls d) s.Fleet.s_energy
+    @ [ dist_row "whole machine" s.Fleet.s_total ]
+  in
+  let cause_rows =
+    List.map (fun (c, share) -> [ c; fmt_share share ]) s.Fleet.s_cause_share
+  in
+  let viol = s.Fleet.s_violations in
+  {
+    Report.id = "fleet";
+    title =
+      Printf.sprintf
+        "Fleet: %d heterogeneous devices, budget scenario (seed %d)" devices
+        seed;
+    items =
+      [
+        Report.Text
+          "Per-device seeds and heterogeneity (rail idle floor, core count, \
+           governor trip point, workload intensity, cap) derive from the \
+           fleet seed by splitmix, so this population re-runs bit-for-bit \
+           at any --jobs value.";
+        Report.table
+          ~headers:[ "energy per device"; "p50"; "p95"; "p99"; "mean" ]
+          energy_rows;
+        Report.table ~headers:[ "cause"; "share of fleet energy" ] cause_rows;
+        Report.table
+          ~headers:[ "cap violations"; "value" ]
+          [
+            [
+              "devices with any violation";
+              fmt_share s.Fleet.s_violation_rate;
+            ];
+            [ "violations per device p50"; Printf.sprintf "%.0f" viol.p50 ];
+            [ "violations per device p99"; Printf.sprintf "%.0f" viol.p99 ];
+            [ "violations per device max"; Printf.sprintf "%.0f" viol.max ];
+          ];
+      ];
+  }

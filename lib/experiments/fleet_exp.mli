@@ -1,0 +1,6 @@
+(** Registry wrapper for the fleet subsystem: renders a small sequential
+    fleet (64 devices, budget scenario) as a report so `run all` exercises
+    the population path. The scaled, sharded entry point is the CLI's
+    [fleet] subcommand. *)
+
+val run : ?seed:int -> unit -> Report.t

@@ -4,7 +4,10 @@
 type entry = {
   e_id : string;
   e_title : string;
-  e_run : unit -> Report.t;
+  e_run : ?seed:int -> unit -> Report.t;
+      (** [?seed] overrides the experiment's built-in default seed (the
+          CLI's [--seed] flag lands here); experiments without a seeded
+          simulation (table5) ignore it. *)
 }
 
 val all : entry list

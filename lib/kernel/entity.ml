@@ -16,11 +16,14 @@ type t = {
   mutable on_rq : bool;
 }
 
-let next_eid = ref 0
+(* Domain-local, reset per device — see Task.next_tid. *)
+let next_eid = Domain.DLS.new_key (fun () -> ref 0)
+let reset_ids () = Domain.DLS.get next_eid := 0
 
 let fresh_eid () =
-  incr next_eid;
-  !next_eid
+  let next = Domain.DLS.get next_eid in
+  incr next;
+  !next
 
 let of_task task =
   {

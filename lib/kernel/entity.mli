@@ -24,6 +24,10 @@ type t = {
   mutable on_rq : bool;
 }
 
+val reset_ids : unit -> unit
+(** Restart eid numbering from 1 in the current domain — see
+    {!Task.reset_ids}. *)
+
 val of_task : Task.t -> t
 
 val group : psbox_id:int -> core:int -> ?weight:float -> unit -> t

@@ -43,13 +43,20 @@ type t = {
   mutable started : bool;
 }
 
-let next_uid = ref 0
+(* Domain-local: uids distinguish systems within one domain (the audit
+   attach memo keys on them), and hooks installed in one domain must not
+   fire for systems booted in another. *)
+let next_uid = Domain.DLS.new_key (fun () -> ref 0)
 
 (* Boot hooks run at the end of [create], observing the fully wired
    machine. They let optional observers (the audit ledger) auto-attach to
-   every system a process builds without the kernel depending on them. *)
-let boot_hooks : (t -> unit) list ref = ref []
-let on_boot fn = boot_hooks := !boot_hooks @ [ fn ]
+   every system this domain builds without the kernel depending on them. *)
+let boot_hooks : (t -> unit) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let on_boot fn =
+  let hooks = Domain.DLS.get boot_hooks in
+  hooks := !hooks @ [ fn ]
 
 let gpu_opps =
   [|
@@ -197,14 +204,15 @@ let create ?(seed = 42) ?(cores = 2)
                rl.rl_w <- tr.after_w
            | None -> ()
          end));
-  incr next_uid;
+  let uid_ref = Domain.DLS.get next_uid in
+  incr uid_ref;
   let sys =
     {
-      sim; rng; uid = !next_uid; cpu; smp; gpu; dsp; net; display; gps;
+      sim; rng; uid = !uid_ref; cpu; smp; gpu; dsp; net; display; gps;
       power_bus; ledger; rail_ledgers; apps = []; next_app = 1; started = false;
     }
   in
-  List.iter (fun fn -> fn sys) !boot_hooks;
+  List.iter (fun fn -> fn sys) !(Domain.DLS.get boot_hooks);
   sys
 
 let am57 ?seed () = create ?seed ~cores:2 ~gpu:true ~dsp:true ()

@@ -23,12 +23,17 @@ type t = {
   mutable last_wake : Psbox_engine.Time.t;
 }
 
-let next_tid = ref 0
+(* Domain-local so concurrent device simulations number their tasks
+   independently; reset per device so tids depend only on that device's own
+   spawn order. *)
+let next_tid = Domain.DLS.new_key (fun () -> ref 0)
+let reset_ids () = Domain.DLS.get next_tid := 0
 
 let create ~app ~name ?(weight = 1024.0) ?(core = 0) ~program () =
-  incr next_tid;
+  let next = Domain.DLS.get next_tid in
+  incr next;
   {
-    tid = !next_tid;
+    tid = !next;
     app;
     name;
     weight;

@@ -37,6 +37,11 @@ val create :
   app:int -> name:string -> ?weight:float -> ?core:int -> program:program ->
   unit -> t
 
+val reset_ids : unit -> unit
+(** Restart tid numbering from 1 in the current domain. Tids are
+    domain-local; a fleet device calls this at boot so its tids depend only
+    on its own spawn order, never on sibling devices or prior runs. *)
+
 val is_runnable : t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -10,54 +10,210 @@ let fmt_value v =
   else Printf.sprintf "%g" v
 
 module Metrics = struct
-  type counter = { mutable c : float }
-  type gauge = { mutable g : float }
+  (* Mutable metric state (cells) lives in a per-domain store; handles are
+     process-global, memoized by name, and carry a dense per-kind index
+     into cell-cache arrays held by the store itself. A hot-path update is
+     one DLS read, one array load and a float store — and because the
+     caches live {e inside} the store, switching stores (a fresh domain,
+     or a {!with_fresh_store} scope) atomically starts from a cold cache
+     with no per-operation validation. The same handle transparently
+     accumulates into whichever store its domain currently owns; that is
+     what lets N concurrent device simulations share instrumented code
+     without ever interleaving their metrics. *)
 
-  type histogram = {
-    edges : float array; (* strictly increasing upper bounds *)
-    counts : int array; (* length = edges + 1; last is overflow *)
-    mutable sum : float;
+  type ccell = { mutable c : float }
+  type gcell = { mutable g : float }
+
+  type hcell = {
+    h_edges : float array; (* strictly increasing upper bounds; shared *)
+    h_counts : int array; (* length = edges + 1; last is overflow *)
+    mutable h_sum : float;
   }
 
-  type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+  type cell = CCounter of ccell | CGauge of gcell | CHist of hcell
 
-  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+  type store = {
+    cells : (string, cell) Hashtbl.t;
+    mutable ccache : ccell option array; (* indexed by counter handle idx *)
+    mutable gcache : gcell option array;
+    mutable hcache : hcell option array;
+  }
+
+  let new_store () =
+    { cells = Hashtbl.create 64; ccache = [||]; gcache = [||]; hcache = [||] }
+
+  let store_key : store Domain.DLS.key = Domain.DLS.new_key new_store
+
+  type counter = { c_name : string; c_idx : int }
+  type gauge = { g_name : string; g_idx : int }
+  type histogram = { hm_name : string; hm_edges : float array; hm_idx : int }
+  type handle = HCounter of counter | HGauge of gauge | HHist of histogram
+
+  (* Name -> handle memo: the only mutable structure shared across domains,
+     guarded by a mutex (which also guards the per-kind index counters).
+     Registration is cold; hot paths never touch it. *)
+  let handles : (string, handle) Hashtbl.t = Hashtbl.create 64
+  let handles_mu = Mutex.create ()
+  let n_counters = ref 0
+  let n_gauges = ref 0
+  let n_hists = ref 0
+
+  let grown (cache : 'a option array) idx =
+    let len = Array.length cache in
+    if idx < len then cache
+    else begin
+      let a = Array.make (max 8 (2 * (idx + 1))) None in
+      Array.blit cache 0 a 0 len;
+      a
+    end
 
   let kind_name = function
-    | Counter _ -> "counter"
-    | Gauge _ -> "gauge"
-    | Histogram _ -> "histogram"
+    | HCounter _ -> "counter"
+    | HGauge _ -> "gauge"
+    | HHist _ -> "histogram"
 
-  let clash name m =
+  let clash name h =
     invalid_arg
       (Printf.sprintf "Telemetry.Metrics: %S is already a %s" name
-         (kind_name m))
+         (kind_name h))
+
+  (* Slow paths: first touch of a handle in a given store. Find (or create)
+     the named cell in the store's hashtable and publish it in the store's
+     cache array at the handle's index. *)
+  let materialize_c store (h : counter) =
+    let cell =
+      match Hashtbl.find_opt store.cells h.c_name with
+      | Some (CCounter c) -> c
+      | Some _ -> assert false (* kind is fixed by the handle memo *)
+      | None ->
+          let c = { c = 0.0 } in
+          Hashtbl.replace store.cells h.c_name (CCounter c);
+          c
+    in
+    store.ccache <- grown store.ccache h.c_idx;
+    store.ccache.(h.c_idx) <- Some cell;
+    cell
+
+  let ccell_of (h : counter) =
+    let store = Domain.DLS.get store_key in
+    let cache = store.ccache in
+    if h.c_idx < Array.length cache then
+      match Array.unsafe_get cache h.c_idx with
+      | Some c -> c
+      | None -> materialize_c store h
+    else materialize_c store h
+
+  let materialize_g store (h : gauge) =
+    let cell =
+      match Hashtbl.find_opt store.cells h.g_name with
+      | Some (CGauge g) -> g
+      | Some _ -> assert false
+      | None ->
+          let g = { g = 0.0 } in
+          Hashtbl.replace store.cells h.g_name (CGauge g);
+          g
+    in
+    store.gcache <- grown store.gcache h.g_idx;
+    store.gcache.(h.g_idx) <- Some cell;
+    cell
+
+  let gcell_of (h : gauge) =
+    let store = Domain.DLS.get store_key in
+    let cache = store.gcache in
+    if h.g_idx < Array.length cache then
+      match Array.unsafe_get cache h.g_idx with
+      | Some g -> g
+      | None -> materialize_g store h
+    else materialize_g store h
+
+  let materialize_h store (h : histogram) =
+    let cell =
+      match Hashtbl.find_opt store.cells h.hm_name with
+      | Some (CHist c) -> c
+      | Some _ -> assert false
+      | None ->
+          let c =
+            {
+              h_edges = h.hm_edges;
+              h_counts = Array.make (Array.length h.hm_edges + 1) 0;
+              h_sum = 0.0;
+            }
+          in
+          Hashtbl.replace store.cells h.hm_name (CHist c);
+          c
+    in
+    store.hcache <- grown store.hcache h.hm_idx;
+    store.hcache.(h.hm_idx) <- Some cell;
+    cell
+
+  let hcell_of (h : histogram) =
+    let store = Domain.DLS.get store_key in
+    let cache = store.hcache in
+    if h.hm_idx < Array.length cache then
+      match Array.unsafe_get cache h.hm_idx with
+      | Some c -> c
+      | None -> materialize_h store h
+    else materialize_h store h
 
   let counter name =
-    match Hashtbl.find_opt registry name with
-    | Some (Counter c) -> c
-    | Some m -> clash name m
-    | None ->
-        let c = { c = 0.0 } in
-        Hashtbl.replace registry name (Counter c);
-        c
+    let h =
+      Mutex.protect handles_mu (fun () ->
+          match Hashtbl.find_opt handles name with
+          | Some (HCounter c) -> c
+          | Some h -> clash name h
+          | None ->
+              let c = { c_name = name; c_idx = !n_counters } in
+              Stdlib.incr n_counters;
+              Hashtbl.replace handles name (HCounter c);
+              c)
+    in
+    (* materialize in the registering domain so never-touched metrics still
+       show up in its snapshots *)
+    ignore (ccell_of h : ccell);
+    h
 
-  let incr c = if !on then c.c <- c.c +. 1.0
-  let add c v = if !on then c.c <- c.c +. v
-  let counter_value c = c.c
+  let incr h =
+    if !on then begin
+      let c = ccell_of h in
+      c.c <- c.c +. 1.0
+    end
+
+  let add h v =
+    if !on then begin
+      let c = ccell_of h in
+      c.c <- c.c +. v
+    end
+
+  let counter_value h = (ccell_of h).c
 
   let gauge name =
-    match Hashtbl.find_opt registry name with
-    | Some (Gauge g) -> g
-    | Some m -> clash name m
-    | None ->
-        let g = { g = 0.0 } in
-        Hashtbl.replace registry name (Gauge g);
-        g
+    let h =
+      Mutex.protect handles_mu (fun () ->
+          match Hashtbl.find_opt handles name with
+          | Some (HGauge g) -> g
+          | Some h -> clash name h
+          | None ->
+              let g = { g_name = name; g_idx = !n_gauges } in
+              Stdlib.incr n_gauges;
+              Hashtbl.replace handles name (HGauge g);
+              g)
+    in
+    ignore (gcell_of h : gcell);
+    h
 
-  let set g v = if !on then g.g <- v
-  let set_max g v = if !on && v > g.g then g.g <- v
-  let gauge_value g = g.g
+  let set h v =
+    if !on then begin
+      let g = gcell_of h in
+      g.g <- v
+    end
+
+  let set_max h v =
+    if !on then begin
+      let g = gcell_of h in
+      if v > g.g then g.g <- v
+    end
+
+  let gauge_value h = (gcell_of h).g
 
   let histogram name ~edges =
     if Array.length edges = 0 then
@@ -66,58 +222,60 @@ module Metrics = struct
       if edges.(i) <= edges.(i - 1) then
         invalid_arg "Telemetry.Metrics.histogram: edges must increase"
     done;
-    match Hashtbl.find_opt registry name with
-    | Some (Histogram h) ->
-        if h.edges <> edges then
-          invalid_arg
-            (Printf.sprintf
-               "Telemetry.Metrics.histogram: %S exists with different edges"
-               name);
-        h
-    | Some m -> clash name m
-    | None ->
-        let h =
-          {
-            edges = Array.copy edges;
-            counts = Array.make (Array.length edges + 1) 0;
-            sum = 0.0;
-          }
-        in
-        Hashtbl.replace registry name (Histogram h);
-        h
+    let h =
+      Mutex.protect handles_mu (fun () ->
+          match Hashtbl.find_opt handles name with
+          | Some (HHist h) ->
+              if h.hm_edges <> edges then
+                invalid_arg
+                  (Printf.sprintf
+                     "Telemetry.Metrics.histogram: %S exists with different \
+                      edges"
+                     name);
+              h
+          | Some h -> clash name h
+          | None ->
+              let h =
+                { hm_name = name; hm_edges = Array.copy edges; hm_idx = !n_hists }
+              in
+              Stdlib.incr n_hists;
+              Hashtbl.replace handles name (HHist h);
+              h)
+    in
+    ignore (hcell_of h : hcell);
+    h
 
   let observe h v =
     if !on then begin
-      let n = Array.length h.edges in
+      let cell = hcell_of h in
+      let n = Array.length h.hm_edges in
       let i = ref 0 in
-      while !i < n && v > h.edges.(!i) do
+      while !i < n && v > h.hm_edges.(!i) do
         Stdlib.incr i
       done;
-      h.counts.(!i) <- h.counts.(!i) + 1;
-      h.sum <- h.sum +. v
+      cell.h_counts.(!i) <- cell.h_counts.(!i) + 1;
+      cell.h_sum <- cell.h_sum +. v
     end
 
-  let bucket_counts h = Array.copy h.counts
+  let bucket_counts h = Array.copy (hcell_of h).h_counts
 
   (* Prometheus-style quantile estimate: find the bucket holding the
      rank, interpolate linearly inside it; observations in the overflow
      bucket report the last finite edge. *)
-  let quantile h q =
-    let n = Array.fold_left ( + ) 0 h.counts in
+  let quantile_ec edges counts q =
+    let n = Array.fold_left ( + ) 0 counts in
     if n = 0 then None
     else begin
       let rank = q *. float_of_int n in
-      let nedges = Array.length h.edges in
+      let nedges = Array.length edges in
       let rec go i cum =
-        if i >= nedges then Some h.edges.(nedges - 1)
+        if i >= nedges then Some edges.(nedges - 1)
         else begin
-          let cum' = cum + h.counts.(i) in
-          if float_of_int cum' >= rank && h.counts.(i) > 0 then begin
-            let lo =
-              if i = 0 then Float.min 0.0 h.edges.(0) else h.edges.(i - 1)
-            in
-            let hi = h.edges.(i) in
-            let frac = (rank -. float_of_int cum) /. float_of_int h.counts.(i) in
+          let cum' = cum + counts.(i) in
+          if float_of_int cum' >= rank && counts.(i) > 0 then begin
+            let lo = if i = 0 then Float.min 0.0 edges.(0) else edges.(i - 1) in
+            let hi = edges.(i) in
+            let frac = (rank -. float_of_int cum) /. float_of_int counts.(i) in
             Some (lo +. ((hi -. lo) *. frac))
           end
           else go (i + 1) cum'
@@ -126,48 +284,108 @@ module Metrics = struct
       go 0 0
     end
 
-  let sorted_metrics () =
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  let quantile h q = quantile_ec h.hm_edges (hcell_of h).h_counts q
+
+  (* ---- mergeable exports ------------------------------------------- *)
+
+  type value =
+    | Counter_v of float
+    | Gauge_v of float
+    | Histogram_v of { edges : float array; counts : int array; sum : float }
+
+  type export = (string * value) list
+
+  let export () =
+    let store = Domain.DLS.get store_key in
+    Hashtbl.fold
+      (fun name cell acc ->
+        let v =
+          match cell with
+          | CCounter c -> Counter_v c.c
+          | CGauge g -> Gauge_v g.g
+          | CHist h ->
+              Histogram_v
+                {
+                  edges = Array.copy h.h_edges;
+                  counts = Array.copy h.h_counts;
+                  sum = h.h_sum;
+                }
+        in
+        (name, v) :: acc)
+      store.cells []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+  let merge_value name a b =
+    match (a, b) with
+    | Counter_v x, Counter_v y -> Counter_v (x +. y)
+    | Gauge_v x, Gauge_v y -> Gauge_v (Float.max x y)
+    | Histogram_v ha, Histogram_v hb ->
+        if ha.edges <> hb.edges then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.Metrics.merge: %S has mismatched histogram edges"
+               name);
+        Histogram_v
+          {
+            edges = ha.edges;
+            counts =
+              Array.init (Array.length ha.counts) (fun i ->
+                  ha.counts.(i) + hb.counts.(i));
+            sum = ha.sum +. hb.sum;
+          }
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Telemetry.Metrics.merge: %S has mismatched kinds"
+             name)
+
+  let rec merge a b =
+    match (a, b) with
+    | [], e | e, [] -> e
+    | (na, va) :: ta, (nb, vb) :: tb ->
+        let c = String.compare na nb in
+        if c < 0 then (na, va) :: merge ta b
+        else if c > 0 then (nb, vb) :: merge a tb
+        else (na, merge_value na va vb) :: merge ta tb
+
   let rows_of name = function
-    | Counter c -> [ (name, fmt_value c.c) ]
-    | Gauge g -> [ (name, fmt_value g.g) ]
-    | Histogram h ->
-        let n = Array.length h.edges in
+    | Counter_v c -> [ (name, fmt_value c) ]
+    | Gauge_v g -> [ (name, fmt_value g) ]
+    | Histogram_v { edges; counts; sum } ->
+        let n = Array.length edges in
         let cum = ref 0 in
         let buckets =
           List.init (n + 1) (fun i ->
-              cum := !cum + h.counts.(i);
-              let le = if i = n then "+inf" else Printf.sprintf "%g" h.edges.(i) in
+              cum := !cum + counts.(i);
+              let le = if i = n then "+inf" else Printf.sprintf "%g" edges.(i) in
               (Printf.sprintf "%s{le=%s}" name le, string_of_int !cum))
         in
         let percentiles =
           List.filter_map
             (fun (label, q) ->
-              match quantile h q with
+              match quantile_ec edges counts q with
               | Some v -> Some (name ^ "." ^ label, fmt_value v)
               | None -> None)
             [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
         in
-        buckets @ [ (name ^ ".sum", fmt_value h.sum) ] @ percentiles
+        buckets @ [ (name ^ ".sum", fmt_value sum) ] @ percentiles
 
-  let snapshot () =
-    sorted_metrics () |> List.concat_map (fun (name, m) -> rows_of name m)
+  let export_rows e = List.concat_map (fun (name, v) -> rows_of name v) e
+  let snapshot () = export_rows (export ())
 
   let values () =
-    sorted_metrics ()
-    |> List.filter_map (fun (name, m) ->
-           match m with
-           | Counter c -> Some (name, c.c)
-           | Gauge g -> Some (name, g.g)
-           | Histogram _ -> None)
+    export ()
+    |> List.filter_map (fun (name, v) ->
+           match v with
+           | Counter_v c -> Some (name, c)
+           | Gauge_v g -> Some (name, g)
+           | Histogram_v _ -> None)
 
   let find name =
-    match Hashtbl.find_opt registry name with
-    | Some (Counter c) -> Some c.c
-    | Some (Gauge g) -> Some g.g
-    | Some (Histogram _) | None -> None
+    let store = Domain.DLS.get store_key in
+    match Hashtbl.find_opt store.cells name with
+    | Some (CCounter c) -> Some c.c
+    | Some (CGauge g) -> Some g.g
+    | Some (CHist _) | None -> None
 
   let dump fmt () =
     List.iter
@@ -177,15 +395,21 @@ module Metrics = struct
   let dump_string () = Format.asprintf "%a" dump ()
 
   let reset () =
+    let store = Domain.DLS.get store_key in
     Hashtbl.iter
-      (fun _ m ->
-        match m with
-        | Counter c -> c.c <- 0.0
-        | Gauge g -> g.g <- 0.0
-        | Histogram h ->
-            Array.fill h.counts 0 (Array.length h.counts) 0;
-            h.sum <- 0.0)
-      registry
+      (fun _ cell ->
+        match cell with
+        | CCounter c -> c.c <- 0.0
+        | CGauge g -> g.g <- 0.0
+        | CHist h ->
+            Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+            h.h_sum <- 0.0)
+      store.cells
+
+  let with_fresh_store f =
+    let prev = Domain.DLS.get store_key in
+    Domain.DLS.set store_key (new_store ());
+    Fun.protect ~finally:(fun () -> Domain.DLS.set store_key prev) f
 end
 
 module Tracing = struct
@@ -201,31 +425,43 @@ module Tracing = struct
     args : (string * float) list;
   }
 
-  let armed = ref false
-  let buf = ref [] (* newest first *)
-  let n = ref 0
-  let n_dropped = ref 0
-  let limit = ref 2_000_000
+  (* Recording state is domain-local for the same reason metric stores are:
+     a worker domain running a device never interleaves its events into the
+     main domain's trace buffer. *)
+  type tstate = {
+    mutable armed : bool;
+    mutable buf : event list; (* newest first *)
+    mutable n : int;
+    mutable n_dropped : int;
+    mutable limit : int;
+  }
 
-  let start () = armed := true
-  let stop () = armed := false
-  let recording () = !armed && !on
+  let tkey : tstate Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { armed = false; buf = []; n = 0; n_dropped = 0; limit = 2_000_000 })
+
+  let start () = (Domain.DLS.get tkey).armed <- true
+  let stop () = (Domain.DLS.get tkey).armed <- false
+  let recording () = (Domain.DLS.get tkey).armed && !on
 
   let clear () =
-    buf := [];
-    n := 0;
-    n_dropped := 0
+    let t = Domain.DLS.get tkey in
+    t.buf <- [];
+    t.n <- 0;
+    t.n_dropped <- 0
 
   let record ev =
-    if !n >= !limit then Stdlib.incr n_dropped
+    let t = Domain.DLS.get tkey in
+    if t.n >= t.limit then t.n_dropped <- t.n_dropped + 1
     else begin
-      buf := ev :: !buf;
-      Stdlib.incr n
+      t.buf <- ev :: t.buf;
+      t.n <- t.n + 1
     end
 
   let span ~track ~lane ~name ?(args = []) ~start ~stop () =
     if recording () then
-      record { track; lane; kind = Span; name; ts = start; dur = stop - start; args }
+      record
+        { track; lane; kind = Span; name; ts = start; dur = stop - start; args }
 
   let instant ~track ~lane ~name ?(args = []) ts =
     if recording () then
@@ -244,13 +480,13 @@ module Tracing = struct
           args = [ ("value", v) ];
         }
 
-  let events () = List.rev !buf
-  let length () = !n
-  let dropped () = !n_dropped
+  let events () = List.rev (Domain.DLS.get tkey).buf
+  let length () = (Domain.DLS.get tkey).n
+  let dropped () = (Domain.DLS.get tkey).n_dropped
 
   let set_limit l =
     if l < 0 then invalid_arg "Telemetry.Tracing.set_limit";
-    limit := l
+    (Domain.DLS.get tkey).limit <- l
 end
 
 module Json = struct

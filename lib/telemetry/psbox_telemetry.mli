@@ -1,6 +1,6 @@
-(** Kernel-wide telemetry: a process-global metrics registry, a structured
-    trace recorder with a process/track model, and a Chrome trace-event
-    (catapult) JSON exporter.
+(** Kernel-wide telemetry: a metrics registry, a structured trace recorder
+    with a process/track model, and a Chrome trace-event (catapult) JSON
+    exporter.
 
     The library is a leaf: it depends on nothing and never reads the wall
     clock, so every snapshot and exported trace is byte-reproducible for a
@@ -31,11 +31,16 @@ val set_enabled : bool -> unit
     [subsystem[.instance].quantity] — e.g. [smp.core0.ctx_switches],
     [budget.app3.throttle_level], [sim.events_fired].
 
-    Handles are found-or-created by name in a process-global registry:
-    calling {!Metrics.counter} twice with the same name returns the same
-    cell, so several simulator instances in one process share (and sum
-    into) the same metric. Resolve handles once, at subsystem creation;
-    hot-path updates on a handle are O(1) and allocation-free. *)
+    Handles are found-or-created by name in a process-global memo (guarded
+    by a mutex, so registration is safe from any domain): calling
+    {!Metrics.counter} twice with the same name returns the same handle, so
+    several simulator instances share (and sum into) the same metric. The
+    mutable state behind a handle, however, is {e domain-local}: each
+    domain — and each {!Metrics.with_fresh_store} scope — accumulates into
+    its own store, so concurrent device simulations never interleave
+    metrics, and a shard's totals are collected with {!Metrics.export} and
+    combined with {!Metrics.merge}. Resolve handles once, at subsystem
+    creation; hot-path updates on a handle are O(1) and allocation-free. *)
 module Metrics : sig
   type counter
   type gauge
@@ -95,8 +100,50 @@ module Metrics : sig
   val dump_string : unit -> string
 
   val reset : unit -> unit
-  (** Zero every registered metric (registrations survive). Intended for
-      tests and for isolating per-run counts in long-lived processes. *)
+  (** Zero every metric in the current domain's store (registrations
+      survive). Intended for tests and for isolating per-run counts in
+      long-lived processes. *)
+
+  (** {2 Mergeable exports}
+
+      A snapshot of the current domain's store as data rather than
+      formatted rows, mergeable across devices/shards: counters sum,
+      gauges keep the max, histograms merge bucket-wise. This is the fleet
+      reduction primitive — each device exports at end of run, and the
+      exports fold into one fleet-level export whose {!export_rows} look
+      exactly like a single device's {!snapshot}. *)
+
+  type value =
+    | Counter_v of float
+    | Gauge_v of float
+    | Histogram_v of { edges : float array; counts : int array; sum : float }
+        (** [counts] has [Array.length edges + 1] entries; last is the
+            [+inf] overflow bucket. *)
+
+  type export = (string * value) list
+  (** Sorted by name, each name at most once. *)
+
+  val export : unit -> export
+  (** Every metric in the current domain's store, values copied (later
+      updates don't mutate the export). *)
+
+  val merge : export -> export -> export
+  (** Union by name: counters sum, gauges take the maximum, histograms add
+      bucket counts and sums. Associative and commutative, so a fleet
+      reduction is order-insensitive up to float addition order — merge in
+      a fixed order for byte-determinism. @raise Invalid_argument if a
+      name appears in both with different kinds or histogram edges. *)
+
+  val export_rows : export -> (string * string) list
+  (** Render an export in the exact row format of {!snapshot} —
+      [snapshot () = export_rows (export ())]. *)
+
+  val with_fresh_store : (unit -> 'a) -> 'a
+  (** [with_fresh_store f] runs [f] with the current domain switched to a
+      brand-new empty metric store, then restores the previous store
+      (also on exception). Handles created before, during or after remain
+      valid in both scopes. This is how one device simulation is isolated
+      from the next when devices run sequentially in a single domain. *)
 end
 
 (** {1 Structured tracing}
@@ -106,7 +153,9 @@ end
     within the track, e.g. ["core0"] or ["app3"]). Recording is buffered
     in memory, capped (default 2M events, see {!Tracing.set_limit}) with a
     deterministic drop count, and only active when both {!enabled} and
-    {!Tracing.start} have been set. *)
+    {!Tracing.start} have been set. The recorder state (armed flag, buffer,
+    cap) is domain-local: a worker domain never interleaves events into
+    another domain's trace. *)
 module Tracing : sig
   type kind = Span | Instant | Sample
 

@@ -21,4 +21,5 @@ let () =
       ("budget", Test_budget.suite);
       ("telemetry", Test_telemetry.suite);
       ("audit", Test_audit.suite);
+      ("fleet", Test_fleet.suite);
     ]
