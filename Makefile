@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-diff trace-smoke audit-smoke \
-	sched-smoke fleet-smoke smoke clean
+	sched-smoke fleet-smoke model-smoke smoke clean
 
 all: build
 
@@ -57,6 +57,16 @@ fleet-smoke:
 	cmp _build/fleet-j1.json _build/fleet-j4.json
 	@echo "fleet-smoke: jobs 1 and jobs 4 fleet JSON byte-identical"
 
+# Fit counter-driven power models on one seed and validate on another:
+# every rail's held-out MAPE must stay within 5%, and a deliberately
+# perturbed model must trip the online drift detector.
+model-smoke:
+	dune exec bin/psbox_sim.exe -- model-check --max-mape 5 \
+		--model-out _build/model-smoke.json
+	dune exec bin/psbox_sim.exe -- model-check --perturb 10 --expect-drift \
+		> /dev/null
+	@echo "model-smoke: held-out MAPE within 5%, drift alarm fires under perturbation"
+
 # Fast end-to-end confidence: full build, the whole test suite, one reduced
 # experiment driven through the real CLI, a validated trace export, a
 # bit-exactly conserved joule audit, and heap/wheel output equality.
@@ -68,6 +78,7 @@ smoke:
 	$(MAKE) audit-smoke
 	$(MAKE) sched-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) model-smoke
 	dune exec bench/diff.exe
 
 clean:

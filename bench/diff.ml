@@ -61,6 +61,17 @@ let parse_audit_line line =
       row
   | _ -> None
 
+(* model.* rows of the event_counts section: counter-model estimates and
+   residuals (watt gauges, MAPE percentages, drift alarms), compared
+   informationally — model error drifting across snapshots flags a
+   hardware-model or estimator change, not a perf regression *)
+let parse_model_line line =
+  match parse_kv line ~key:"count" with
+  | Some (name, _) as row
+    when String.length name >= 6 && String.sub name 0 6 = "model." ->
+      row
+  | _ -> None
+
 let load_with parse path =
   let ic = open_in path in
   let rows = ref [] in
@@ -146,6 +157,21 @@ let () =
                    (if Float.abs pct > 1.0 then "shift" else "ok")
                    name j pct)
            audit_cur
+       end);
+      (let model_base = load_with parse_model_line older
+       and model_cur = load_with parse_model_line newer in
+       if model_cur <> [] then begin
+         Printf.printf "counter-model estimates (informational):\n";
+         List.iter
+           (fun (name, v) ->
+             match List.assoc_opt name model_base with
+             | None -> Printf.printf "  NEW    %-52s %14.6f\n" name v
+             | Some v0 ->
+                 let delta = v -. v0 in
+                 Printf.printf "  %-8s%-52s %14.6f  %+10.6f\n"
+                   (if Float.abs delta > 1e-6 then "shift" else "ok")
+                   name v delta)
+           model_cur
        end);
       (match List.rev !regressions with
       | [] ->

@@ -22,6 +22,7 @@ module T = Psbox_engine.Time
 module Telemetry = Psbox_telemetry
 module Audit = Psbox_audit.Audit
 module Fleet = Psbox_fleet.Fleet
+module Model = Psbox_model.Model
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every table and figure                            *)
@@ -150,7 +151,12 @@ let bench_usage_split () =
 (* Budget-capped co-run: a tight cap forces the controller to throttle the
    app's GPU queue and NIC queue, exercising budget.ticks and the accel/net
    gate-wakeup paths that a free run never takes (their counters read 0 in
-   snapshots otherwise). *)
+   snapshots otherwise). The GPU frames go in async (submission outruns the
+   throttled gate, so gate wakeups actually fire) and the traffic is
+   request/response (the RX path delivers bytes back). The second half of
+   the slice runs the counter-model estimator and prices an admission
+   against it, so the model.* gauges and the overdeclared_w cross-check
+   ride along in the snapshot. *)
 let bench_budget_capped () =
   let sys = System.create ~cores:2 ~gpu:true ~wifi:true () in
   let a = System.new_app sys ~name:"a" in
@@ -160,8 +166,10 @@ let bench_budget_capped () =
        (W.forever
           (fun () ->
             [
-              W.Gpu_batch [ W.spec ~kind:"k" ~work_s:0.002 () ];
-              W.Send { socket = 1; bytes = 8_000 };
+              W.Gpu_async (W.spec ~kind:"k" ~work_s:0.002 ());
+              W.Request
+                { socket = 1; tx_bytes = 3_000; rx_bytes = 12_000;
+                  rtt = T.ms 2 };
             ])));
   ignore
     (W.spawn sys ~app:b ~name:"c" ~core:1
@@ -169,7 +177,22 @@ let bench_budget_capped () =
   System.start sys;
   let ctl = Psbox_budget.Budget.create sys () in
   Psbox_budget.Budget.set_cap ctl ~app:a.System.app_id ~watts:0.05;
-  System.run_for sys (T.ms 400);
+  (* let the control loop converge before fitting, so fit and estimation
+     both see the throttled steady state *)
+  System.run_for sys (T.ms 100);
+  let rc = Model.Recorder.start sys ~window:(T.ms 25) () in
+  System.run_for sys (T.ms 150);
+  let models =
+    List.map (Model.Fit.fit ~kind:Model.Fit.Per_opp) (Model.Recorder.stop rc)
+  in
+  let est = Model.Estimator.start sys ~models ~window:(T.ms 25) () in
+  Psbox_budget.Budget.set_machine_budget ctl (Some 3.0);
+  Psbox_budget.Budget.set_admission_estimate ctl
+    (Some (fun app -> Model.Estimator.app_est_w est ~app));
+  System.run_for sys (T.ms 75);
+  ignore (Psbox_budget.Budget.admit ctl ~app:a.System.app_id ~watts:2.0 ());
+  System.run_for sys (T.ms 75);
+  Model.Estimator.stop est;
   Psbox_budget.Budget.stop ctl;
   System.shutdown sys
 
@@ -315,11 +338,14 @@ let write_json rows eps =
     (fun i (name, v) ->
       (* audit.* counters are attributed joules, not event counts: keep
          their fractional part so bench/diff.ml can compare energy totals
-         across snapshots *)
+         across snapshots. Other fractional values (watt/percent gauges
+         like budget.*.measured_w or model.rail.*.est_w) keep six decimals
+         too — %.0f would truncate a 0.07 W reading to a dead-looking 0. *)
       let fmt_count =
         if String.length name >= 6 && String.sub name 0 6 = "audit." then
           Printf.sprintf "%.6f" v
-        else Printf.sprintf "%.0f" v
+        else if Float.is_integer v then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6f" v
       in
       Printf.fprintf oc "    { \"name\": \"%s\", \"count\": %s }%s\n"
         (json_escape name) fmt_count

@@ -379,6 +379,111 @@ let audit_check_cmd =
   in
   Cmd.v (Cmd.info "audit-check" ~doc) Term.(const run $ file)
 
+let model_check_cmd =
+  let doc =
+    "Fit counter-driven power models on one seed, validate on another, and \
+     report per-rail MAPE/RMSE as deterministic JSON."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the reference scenario (2 cores, GPU, WiFi; phased mixed and \
+         bursty apps) under $(b,--seed), records windowed power-state \
+         residency counters against the kernel energy ledger, and fits one \
+         per-OPP and one aggregate linear model per rail by least squares. \
+         It then re-runs the scenario under $(b,--val-seed) with the online \
+         estimator attached and reports each rail's held-out MAPE and RMSE, \
+         plus how many drift alarms the estimator raised.";
+      `P
+        "With $(b,--perturb) the fitted coefficients are deliberately \
+         scaled before validation; the drift detector is expected to fire \
+         ($(b,--expect-drift) turns that into the exit criterion).";
+    ]
+  in
+  let seed_a =
+    let doc = "Seed for the fitting (training) run." in
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"INT" ~doc)
+  in
+  let seed_b =
+    let doc = "Seed for the held-out validation run." in
+    Arg.(value & opt int 23 & info [ "val-seed" ] ~docv:"INT" ~doc)
+  in
+  let window_ms =
+    let doc = "Observation window in milliseconds." in
+    Arg.(value & opt int 50 & info [ "window-ms" ] ~docv:"MS" ~doc)
+  in
+  let windows =
+    let doc = "Number of windows per run." in
+    Arg.(value & opt int 40 & info [ "windows" ] ~docv:"N" ~doc)
+  in
+  let perturb =
+    let doc =
+      "Scale the fitted coefficients by (1 + $(docv)/100) before validating \
+       — an injected model error, for exercising the drift detector."
+    in
+    Arg.(value & opt float 0.0 & info [ "perturb" ] ~docv:"PCT" ~doc)
+  in
+  let max_mape =
+    let doc =
+      "Fail (exit 1) if any rail's per-OPP validation MAPE exceeds $(docv) \
+       percent."
+    in
+    Arg.(value & opt (some float) None & info [ "max-mape" ] ~docv:"PCT" ~doc)
+  in
+  let expect_drift =
+    let doc =
+      "Fail (exit 1) unless the online drift detector raised at least one \
+       alarm during validation."
+    in
+    Arg.(value & flag & info [ "expect-drift" ] ~doc)
+  in
+  let model_out =
+    let doc = "Write the JSON report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "model-out" ] ~docv:"FILE" ~doc)
+  in
+  let run sched seed_a seed_b window_ms windows perturb max_mape expect_drift
+      model_out =
+    Psbox_engine.Sim.set_default_backend sched;
+    if window_ms <= 0 || windows <= 0 then begin
+      Printf.eprintf "model-check: --window-ms and --windows must be positive\n";
+      exit 2
+    end;
+    Audit.enable ();
+    let report =
+      Psbox_model.Model.Check.run ~fit_seed:seed_a ~val_seed:seed_b
+        ~window:(Psbox_engine.Time.ms window_ms) ~windows ~perturb_pct:perturb
+        ()
+    in
+    let json = Psbox_model.Model.Check.json report in
+    (match model_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "model-check: wrote report to %s\n" path
+    | None -> print_string json);
+    let failed = ref false in
+    (match max_mape with
+    | Some cap when report.Psbox_model.Model.Check.c_max_mape_pct > cap ->
+        Printf.eprintf "model-check: max rail MAPE %.3f%% exceeds --max-mape %.3f%%\n"
+          report.Psbox_model.Model.Check.c_max_mape_pct cap;
+        failed := true
+    | _ -> ());
+    if expect_drift && report.Psbox_model.Model.Check.c_drift_alarms = 0 then begin
+      Printf.eprintf
+        "model-check: --expect-drift but no drift alarm fired (perturb %.1f%%)\n"
+        perturb;
+      failed := true
+    end;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "model-check" ~doc ~man)
+    Term.(
+      const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows $ perturb
+      $ max_mape $ expect_drift $ model_out)
+
 (* Default command: bare experiment ids work without the `run` subcommand
    (`psbox_sim --trace-out t.json budget`). *)
 let default_term =
@@ -403,5 +508,5 @@ let () =
        (Cmd.group ~default:default_term info
           [
             list_cmd; run_cmd; all_cmd; fleet_cmd; trace_check_cmd;
-            audit_check_cmd;
+            audit_check_cmd; model_check_cmd;
           ]))

@@ -55,9 +55,16 @@ type t = {
   mutable stopped : bool;
   (* admission *)
   mutable machine_budget_w : float option;
-  reserved : (int, float) Hashtbl.t; (* app -> reserved watts *)
+  reserved : (int, float * float) Hashtbl.t;
+      (* app -> (declared watts, effective watts charged to the budget) *)
   wait_q : (int * float * (unit -> unit)) Queue.t; (* FIFO, head next *)
+  mutable admission_estimate : (int -> float option) option;
+      (* modeled-draw oracle (e.g. Model.Estimator.app_est_w): when set,
+         reservations are charged min(declared, modeled) — declared watts
+         stay the contract, modeled history the price *)
 }
+
+let m_overdeclared = Tm.gauge "budget.admission.overdeclared_w"
 
 let sim ctl = System.sim ctl.sys
 let now ctl = Sim.now (sim ctl)
@@ -277,6 +284,7 @@ let create sys ?(period = Time.ms 50) ?(window_periods = 4)
       machine_budget_w;
       reserved = Hashtbl.create 8;
       wait_q = Queue.create ();
+      admission_estimate = None;
     }
   in
   (* no periodic timer: the first entry arms the control loop *)
@@ -365,7 +373,7 @@ let stop ctl =
 (* Admission control                                                    *)
 
 let reserved_w ctl =
-  Hashtbl.fold (fun _ w acc -> acc +. w) ctl.reserved 0.0
+  Hashtbl.fold (fun _ (_, eff) acc -> acc +. eff) ctl.reserved 0.0
 
 let remaining_w ctl =
   match ctl.machine_budget_w with
@@ -378,14 +386,38 @@ let set_machine_budget ctl w =
   | Some _ | None -> ());
   ctl.machine_budget_w <- w
 
+let set_admission_estimate ctl f = ctl.admission_estimate <- f
+
+(* Effective reservation: the declared watts, cross-checked against the
+   modeled draw when an estimate oracle is wired in. Over-declaring apps
+   are charged what the model says they actually draw; under-declaring
+   apps still pay their full declaration (the cap they asked for). *)
+let effective_reservation ctl ~app ~declared =
+  match ctl.admission_estimate with
+  | None -> declared
+  | Some f -> (
+      match f app with
+      | Some est when est >= 0.0 -> Float.min declared est
+      | Some _ | None -> declared)
+
+let update_overdeclared ctl =
+  Tm.set m_overdeclared
+    (Hashtbl.fold
+       (fun _ (decl, eff) acc -> acc +. (decl -. eff))
+       ctl.reserved 0.0)
+
 let admitted ctl ~app = Hashtbl.mem ctl.reserved app
 let queued ctl = Queue.length ctl.wait_q
+
+let reservation ctl ~app = Hashtbl.find_opt ctl.reserved app
 
 let admit ctl ~app ~watts ?(on_admit = fun () -> ()) ?(queue = false) () =
   if watts < 0.0 then invalid_arg "Budget.admit: negative demand";
   if Hashtbl.mem ctl.reserved app then invalid_arg "Budget.admit: already admitted";
-  if watts <= remaining_w ctl then begin
-    Hashtbl.replace ctl.reserved app watts;
+  let eff = effective_reservation ctl ~app ~declared:watts in
+  if eff <= remaining_w ctl then begin
+    Hashtbl.replace ctl.reserved app (watts, eff);
+    update_overdeclared ctl;
     Admitted
   end
   else if queue then begin
@@ -398,15 +430,19 @@ let release ctl ~app =
   if Hashtbl.mem ctl.reserved app then begin
     Hashtbl.remove ctl.reserved app;
     (* head-first drain: strict FIFO, so a large waiter at the head blocks
-       smaller ones behind it (no sneak-past starvation of big requests) *)
+       smaller ones behind it (no sneak-past starvation of big requests).
+       The head's effective charge is re-evaluated at drain time — the
+       model has seen the waiter's history since it queued. *)
     let continue = ref true in
     while !continue && not (Queue.is_empty ctl.wait_q) do
       let w_app, w_watts, w_cb = Queue.peek ctl.wait_q in
-      if w_watts <= remaining_w ctl then begin
+      let w_eff = effective_reservation ctl ~app:w_app ~declared:w_watts in
+      if w_eff <= remaining_w ctl then begin
         ignore (Queue.pop ctl.wait_q);
-        Hashtbl.replace ctl.reserved w_app w_watts;
+        Hashtbl.replace ctl.reserved w_app (w_watts, w_eff);
         w_cb ()
       end
       else continue := false
-    done
+    done;
+    update_overdeclared ctl
   end

@@ -98,9 +98,20 @@ val stop : t -> unit
 
 val set_machine_budget : t -> float option -> unit
 
+val set_admission_estimate : t -> (int -> float option) option -> unit
+(** Wire in a modeled-draw oracle (typically
+    [Psbox_model.Model.Estimator.app_est_w]): while set, each reservation
+    is charged [min declared (oracle app)] watts against the machine
+    budget instead of the bare declaration — admission against modeled
+    history, not claims. The declaration stays recorded as the contract;
+    the gap is published as the [budget.admission.overdeclared_w] gauge.
+    An oracle returning [None] (no history yet) falls back to the
+    declared watts. Queued requests are re-priced when the drain
+    re-examines them. *)
+
 val remaining_w : t -> float
-(** Machine budget minus all reservations; [infinity] when no budget is
-    set. *)
+(** Machine budget minus all effective reservations; [infinity] when no
+    budget is set. *)
 
 val admit :
   t ->
@@ -123,5 +134,11 @@ val release : t -> app:int -> unit
     that still doesn't fit (no sneaking past a large waiter). *)
 
 val admitted : t -> app:int -> bool
+
+val reservation : t -> app:int -> (float * float) option
+(** [app]'s current reservation as [(declared_w, effective_w)], if any.
+    The two differ only when an admission estimate is wired in and the
+    modeled draw undercuts the declaration. *)
+
 val queued : t -> int
 (** Requests currently waiting. *)

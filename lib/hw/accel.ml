@@ -57,6 +57,9 @@ type t = {
   mutable suspended : bool;
   mutable resuming : bool;
   mutable suspend_timer : Sim.handle option;
+  (* cumulative suspended residency (for counter-driven power models) *)
+  mutable suspended_accum : Time.span;
+  mutable suspended_since : Time.t;
   mutable util_mark : Time.t;
   mutable util_mark_accum : Time.span;
 }
@@ -156,6 +159,7 @@ and arm_autosuspend dev =
           (Sim.schedule_after dev.sim span (fun () ->
                if dev.running = [] && dev.waiting = [] then begin
                  dev.suspended <- true;
+                 dev.suspended_since <- Sim.now dev.sim;
                  update_power dev
                end))
 
@@ -192,6 +196,8 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
       suspended = false;
       resuming = false;
       suspend_timer = None;
+      suspended_accum = 0;
+      suspended_since = Time.zero;
       util_mark = Sim.now sim;
       util_mark_accum = 0;
     }
@@ -237,6 +243,8 @@ let submit dev cmd =
   dev.waiting <- dev.waiting @ [ cmd ];
   if dev.suspended then begin
     dev.suspended <- false;
+    dev.suspended_accum <-
+      dev.suspended_accum + (Sim.now dev.sim - dev.suspended_since);
     dev.resuming <- true;
     update_power dev;
     ignore
@@ -265,4 +273,13 @@ let active_seconds dev =
   Time.to_sec_f (dev.active_accum + extra)
 
 let suspended dev = dev.suspended
+
+let suspended_seconds dev =
+  let extra =
+    if dev.suspended then Sim.now dev.sim - dev.suspended_since else 0
+  in
+  Time.to_sec_f (dev.suspended_accum + extra)
+
+let suspend_w dev = dev.suspend_w
+let idle_w dev = Power_rail.idle_w dev.rail
 let stop dev = Dvfs.stop (dvfs_exn dev)

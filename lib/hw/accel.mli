@@ -79,4 +79,16 @@ val active_seconds : t -> float
 
 val suspended : t -> bool
 
+val suspended_seconds : t -> float
+(** Cumulative seconds in the suspended (below-idle) state, including the
+    current stretch — a power-state residency counter, like a real driver's
+    runtime-PM [suspended_time]. Counter-driven power models
+    ({!Psbox_model}) fit the idle/suspend floor split from it. *)
+
+val suspend_w : t -> float
+(** The suspended-state draw (ground truth, for tests). *)
+
+val idle_w : t -> float
+(** The idle (powered, no command) draw of the device's rail. *)
+
 val stop : t -> unit

@@ -48,6 +48,13 @@ type t = {
   mutable tail_timer : Sim.handle option;
   mutable airtime_accum : Time.span;
   mutable air_since : Time.t;
+  (* power-state residency counters (for counter-driven power models):
+     time awake, on-air time per TX level, on-air RX time *)
+  mutable awake_accum : Time.span;
+  mutable awake_since : Time.t;
+  tx_air_by_level : Time.span array;
+  mutable rx_air_accum : Time.span;
+  mutable on_air_level : int; (* TX level when the on-air frame started *)
   mutable mac : int;
   mutable associated : bool;
   mutable mode_adapt : bool;
@@ -68,6 +75,14 @@ let update_power nic =
   in
   Power_rail.set_power nic.rail w
 
+let set_awake_state nic b =
+  if nic.awake <> b then begin
+    let now = Sim.now nic.sim in
+    if b then nic.awake_since <- now
+    else nic.awake_accum <- nic.awake_accum + (now - nic.awake_since);
+    nic.awake <- b
+  end
+
 let cancel_tail nic =
   match nic.tail_timer with
   | Some h ->
@@ -82,14 +97,14 @@ let arm_tail nic =
       (Sim.schedule_after nic.sim nic.tail (fun () ->
            nic.tail_timer <- None;
            if nic.on_air = None && nic.queue = [] then begin
-             nic.awake <- false;
+             set_awake_state nic false;
              update_power nic
            end))
 
 let wake nic =
   cancel_tail nic;
   if not nic.awake then begin
-    nic.awake <- true;
+    set_awake_state nic true;
     update_power nic
   end
 
@@ -129,6 +144,7 @@ let rec send_next nic =
         nic.on_air <- Some p;
         nic.air_since <- now;
         adapt_mode nic;
+        nic.on_air_level <- nic.level;
         update_power nic;
         let airtime =
           Time.of_sec_f (float_of_int (p.bytes * 8) /. nic.rate_bps) + nic.overhead
@@ -140,6 +156,11 @@ let rec send_next nic =
                nic.on_air <- None;
                let air = now - nic.air_since in
                nic.airtime_accum <- nic.airtime_accum + air;
+               (match p.dir with
+               | `Tx ->
+                   nic.tx_air_by_level.(nic.on_air_level) <-
+                     nic.tx_air_by_level.(nic.on_air_level) + air
+               | `Rx -> nic.rx_air_accum <- nic.rx_air_accum + air);
                nic.recent_air <- (now, air) :: nic.recent_air;
                update_power nic;
                arm_tail nic;
@@ -172,6 +193,11 @@ let create sim ?retention ?(name = "wifi") ?(rate_mbps = 40.0)
       tail_timer = None;
       airtime_accum = 0;
       air_since = Time.zero;
+      awake_accum = 0;
+      awake_since = Time.zero;
+      tx_air_by_level = Array.make (Array.length tx_levels) 0;
+      rx_air_accum = 0;
+      on_air_level = 0;
       mac = 0;
       associated = true;
       mode_adapt = true;
@@ -214,6 +240,33 @@ let airtime_seconds nic =
   Time.to_sec_f (nic.airtime_accum + extra)
 
 let awake nic = nic.awake
+
+let awake_seconds nic =
+  let extra = if nic.awake then Sim.now nic.sim - nic.awake_since else 0 in
+  Time.to_sec_f (nic.awake_accum + extra)
+
+let tx_level_count nic = Array.length nic.tx_levels
+let tx_level_w nic i = nic.tx_levels.(i)
+let rx_w nic = nic.rx_w
+
+let tx_airtime_by_level_seconds nic =
+  Array.init (Array.length nic.tx_levels) (fun i ->
+      let extra =
+        match nic.on_air with
+        | Some p when p.dir = `Tx && nic.on_air_level = i ->
+            Sim.now nic.sim - nic.air_since
+        | _ -> 0
+      in
+      Time.to_sec_f (nic.tx_air_by_level.(i) + extra))
+
+let rx_airtime_seconds nic =
+  let extra =
+    match nic.on_air with
+    | Some p when p.dir = `Rx -> Sim.now nic.sim - nic.air_since
+    | _ -> 0
+  in
+  Time.to_sec_f (nic.rx_air_accum + extra)
+
 let tx_level nic = nic.level
 
 let set_tx_level nic level =
@@ -232,7 +285,7 @@ let restore_power_state nic st =
   end
   else if nic.on_air = None && nic.queue = [] then begin
     cancel_tail nic;
-    nic.awake <- false;
+    set_awake_state nic false;
     update_power nic
   end
 

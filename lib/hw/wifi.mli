@@ -97,6 +97,32 @@ val airtime_seconds : t -> float
 
 val awake : t -> bool
 
+(** {1 Power-state residency counters}
+
+    Cumulative time the chip spent in each power-relevant state, the kind
+    of counter a real NIC driver exports ([rx]/[tx] airtime, doze time).
+    These are the observables that counter-driven power models
+    ({!Psbox_model}) fit against the energy ledger; each includes the
+    in-progress state at the current instant. *)
+
+val awake_seconds : t -> float
+(** Cumulative seconds out of power-save (awake-idle, TX or RX). *)
+
+val tx_airtime_by_level_seconds : t -> float array
+(** Cumulative TX on-air seconds per transmission level (length
+    {!tx_level_count}). A frame's airtime is billed to the level in effect
+    when it went on the air. *)
+
+val rx_airtime_seconds : t -> float
+(** Cumulative RX on-air seconds. *)
+
+val tx_level_count : t -> int
+
+val tx_level_w : t -> int -> float
+(** The extra on-air draw of TX level [i] (ground truth, for tests). *)
+
+val rx_w : t -> float
+
 (** {1 Power-state virtualization support} *)
 
 type power_state = { tx_level : int; awake : bool }

@@ -22,4 +22,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("audit", Test_audit.suite);
       ("fleet", Test_fleet.suite);
+      ("model", Test_model.suite);
     ]
