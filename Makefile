@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-diff trace-smoke audit-smoke \
-	sched-smoke fleet-smoke model-smoke smoke clean
+	sched-smoke fleet-smoke model-smoke health-smoke smoke clean
 
 all: build
 
@@ -67,6 +67,19 @@ model-smoke:
 		> /dev/null
 	@echo "model-smoke: held-out MAPE within 5%, drift alarm fires under perturbation"
 
+# Drift-inject a 12% coefficient error, run the health engine's default
+# rule pack with the recalibration responder, and require: the incident
+# log byte-stable across two runs, the drift incident fired and the model
+# hot-swapped (--expect-heal), and the post-swap held-out MAPE back under
+# the 5% gate.
+health-smoke:
+	dune exec bin/psbox_sim.exe -- health-check --perturb 12 --expect-heal \
+		--max-mape 5 --health-out _build/health-smoke-1.json
+	dune exec bin/psbox_sim.exe -- health-check --perturb 12 \
+		--health-out _build/health-smoke-2.json
+	cmp _build/health-smoke-1.json _build/health-smoke-2.json
+	@echo "health-smoke: drift fired, model hot-swapped, post-swap MAPE < 5%, log byte-stable"
+
 # Fast end-to-end confidence: full build, the whole test suite, one reduced
 # experiment driven through the real CLI, a validated trace export, a
 # bit-exactly conserved joule audit, and heap/wheel output equality.
@@ -79,6 +92,7 @@ smoke:
 	$(MAKE) sched-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) model-smoke
+	$(MAKE) health-smoke
 	dune exec bench/diff.exe
 
 clean:

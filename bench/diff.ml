@@ -72,6 +72,17 @@ let parse_model_line line =
       row
   | _ -> None
 
+(* health.* rows of the event_counts section: incident-lifecycle counts
+   (evaluations, pending/firing/resolved incidents, responder actions),
+   compared informationally — an incident-count shift flags a rule or
+   threshold change, not a perf regression *)
+let parse_health_line line =
+  match parse_kv line ~key:"count" with
+  | Some (name, _) as row
+    when String.length name >= 7 && String.sub name 0 7 = "health." ->
+      row
+  | _ -> None
+
 let load_with parse path =
   let ic = open_in path in
   let rows = ref [] in
@@ -172,6 +183,21 @@ let () =
                    (if Float.abs delta > 1e-6 then "shift" else "ok")
                    name v delta)
            model_cur
+       end);
+      (let health_base = load_with parse_health_line older
+       and health_cur = load_with parse_health_line newer in
+       if health_cur <> [] then begin
+         Printf.printf "health incident counts (informational):\n";
+         List.iter
+           (fun (name, v) ->
+             match List.assoc_opt name health_base with
+             | None -> Printf.printf "  NEW    %-52s %14.0f\n" name v
+             | Some v0 ->
+                 let delta = v -. v0 in
+                 Printf.printf "  %-8s%-52s %14.0f  %+6.0f\n"
+                   (if Float.abs delta > 0.5 then "shift" else "ok")
+                   name v delta)
+           health_cur
        end);
       (match List.rev !regressions with
       | [] ->

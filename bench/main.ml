@@ -253,8 +253,12 @@ let fleet_throughput () =
   let jobs = Domain.recommended_domain_count () in
   let devices = 64 in
   let t0 = Unix.gettimeofday () in
+  (* health on: the engine's health.* incident-lifecycle counters ride
+     along in the event_counts section, where bench/diff.exe compares
+     incident counts across snapshots informationally *)
   ignore
-    (Fleet.run ~jobs ~scenario:"budget" ~devices ~seed:42 () : Fleet.summary);
+    (Fleet.run ~jobs ~health:true ~scenario:"budget" ~devices ~seed:42 ()
+      : Fleet.summary);
   let dt = Unix.gettimeofday () -. t0 in
   ( Printf.sprintf "psbox/fleet: devices/sec, %d devices @ jobs=%d" devices
       jobs,

@@ -27,6 +27,8 @@ module Report = Psbox_experiments.Report
 module Telemetry = Psbox_telemetry
 module Audit = Psbox_audit.Audit
 module Fleet = Psbox_fleet.Fleet
+module Health = Psbox_health.Health
+module System = Psbox_kernel.System
 
 let list_cmd =
   let doc = "List the available experiments (one per paper table/figure)." in
@@ -51,6 +53,26 @@ let metrics_arg =
      byte-reproducible for a given run)."
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "After the run, write the metrics snapshot to $(docv) in the \
+     OpenMetrics/Prometheus text exposition format (sorted names, # TYPE \
+     lines, cumulative histogram _bucket/_sum/_count rows; \
+     byte-reproducible for a given run)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let health_out_arg =
+  let doc =
+    "Attach a streaming health engine (the default rule pack: model drift, \
+     cap-violation SLO burn, dead-metric absence, audit conservation) to \
+     every machine the run builds, observe-only, and write the merged \
+     incident log to $(docv) as deterministic JSON."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "health-out" ] ~docv:"FILE" ~doc)
 
 let audit_out_arg =
   let doc =
@@ -98,13 +120,24 @@ let with_formatter_to path f =
   Format.pp_print_flush fmt ();
   close_out oc
 
-let run_ids sched seed trace_out metrics audit_out flame_out ids =
+let run_ids sched seed trace_out metrics metrics_out audit_out flame_out
+    health_out ids =
   Psbox_engine.Sim.set_default_backend sched;
   (* Auditing is the default: a pure observer whose cost the probe bench
      bounds. Report mode (which retains every machine for the final
      report) is only armed when a report was actually requested. *)
   Audit.enable ();
   if audit_out <> None || flame_out <> None then Audit.set_report_mode true;
+  (* Health rides along only on request: an on-boot hook gives every
+     machine the run builds an observe-only engine with the default rule
+     pack (registered after Audit.enable so the conservation probe finds
+     the ledger). *)
+  let health_engines = ref [] in
+  if health_out <> None then
+    System.on_boot (fun sys ->
+        let eng = Health.create (System.sim sys) () in
+        Health.add_rules eng (Health.default_pack sys);
+        health_engines := eng :: !health_engines);
   (match trace_out with
   | Some _ ->
       Telemetry.Tracing.clear ();
@@ -150,6 +183,27 @@ let run_ids sched seed trace_out metrics audit_out flame_out ids =
       with_formatter_to path Audit.write_flame;
       Printf.printf "audit: wrote folded stacks to %s\n" path
   | None -> ());
+  (match health_out with
+  | Some path ->
+      List.iter Health.stop !health_engines;
+      let logs = List.rev_map Health.json !health_engines in
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i log ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc log)
+        logs;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "health: wrote incident log for %d system(s) to %s\n"
+        (List.length logs) path
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+      Telemetry.Openmetrics.write path (Telemetry.Metrics.export ());
+      Printf.printf "metrics: wrote OpenMetrics exposition to %s\n" path
+  | None -> ());
   if metrics then begin
     print_endline "== telemetry metrics ==";
     print_string (Telemetry.Metrics.dump_string ())
@@ -163,18 +217,21 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_ids $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-      $ audit_out_arg $ flame_out_arg $ ids)
+      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
+      $ ids)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run sched seed trace_out metrics audit_out flame_out =
-    run_ids sched seed trace_out metrics audit_out flame_out
+  let run sched seed trace_out metrics metrics_out audit_out flame_out
+      health_out =
+    run_ids sched seed trace_out metrics metrics_out audit_out flame_out
+      health_out
       (List.map (fun e -> e.Registry.e_id) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-      $ audit_out_arg $ flame_out_arg)
+      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg)
 
 let fleet_cmd =
   let doc =
@@ -228,7 +285,16 @@ let fleet_cmd =
     Arg.(
       value & opt (some string) None & info [ "fleet-out" ] ~docv:"FILE" ~doc)
   in
-  let run sched devices jobs seed scenario fleet_out =
+  let health_arg =
+    let doc =
+      "Attach the observe-only health engine (default rule pack) to every \
+       device and reduce the per-device incident logs into fleet incident \
+       rates (fired incidents per rule per 1000 devices, in the JSON \
+       report and the per-device rows)."
+    in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
+  let run sched devices jobs seed scenario fleet_out health =
     Psbox_engine.Sim.set_default_backend sched;
     if not (List.mem scenario Fleet.scenario_ids) then begin
       Printf.eprintf "unknown scenario %S; available: %s\n" scenario
@@ -239,7 +305,7 @@ let fleet_cmd =
       Printf.eprintf "fleet: --devices must be >= 0 and --jobs >= 1\n";
       exit 2
     end;
-    let summary = Fleet.run ~jobs ~scenario ~devices ~seed () in
+    let summary = Fleet.run ~jobs ~health ~scenario ~devices ~seed () in
     Printf.printf
       "fleet: %d device(s), scenario %s, seed %d, %d job(s)\n" devices
       scenario seed jobs;
@@ -251,6 +317,10 @@ let fleet_cmd =
         Printf.printf "  %-12s p50=%.3f p95=%.3f p99=%.3f J\n" cls
           d.Fleet.p50 d.Fleet.p95 d.Fleet.p99)
       summary.Fleet.s_energy;
+    List.iter
+      (fun (rule, rate) ->
+        Printf.printf "  incident %-24s %.1f per 1000 devices\n" rule rate)
+      summary.Fleet.s_incident_rates;
     match fleet_out with
     | Some path ->
         let oc = open_out path in
@@ -263,7 +333,7 @@ let fleet_cmd =
     (Cmd.info "fleet" ~doc ~man)
     Term.(
       const run $ sched_arg $ devices_arg $ jobs_arg $ fleet_seed_arg
-      $ scenario_arg $ fleet_out_arg)
+      $ scenario_arg $ fleet_out_arg $ health_arg)
 
 let trace_check_cmd =
   let doc =
@@ -442,14 +512,61 @@ let model_check_cmd =
     let doc = "Write the JSON report to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "model-out" ] ~docv:"FILE" ~doc)
   in
+  let self_heal =
+    let doc =
+      "Close the loop: run validation with the health engine's drift rule \
+       and the online recalibration responder attached, hot-swapping a \
+       refitted model under the estimator when drift fires. The report \
+       becomes the self-heal report; $(b,--max-mape) then gates the \
+       post-swap held-out MAPE and $(b,--expect-drift) requires at least \
+       one fired incident and one model swap."
+    in
+    Arg.(value & flag & info [ "self-heal" ] ~doc)
+  in
   let run sched seed_a seed_b window_ms windows perturb max_mape expect_drift
-      model_out =
+      model_out self_heal =
     Psbox_engine.Sim.set_default_backend sched;
     if window_ms <= 0 || windows <= 0 then begin
       Printf.eprintf "model-check: --window-ms and --windows must be positive\n";
       exit 2
     end;
     Audit.enable ();
+    if self_heal then begin
+      let report, _eng =
+        Health.Self_heal.run ~fit_seed:seed_a ~val_seed:seed_b
+          ~window:(Psbox_engine.Time.ms window_ms) ~windows
+          ~perturb_pct:perturb ()
+      in
+      let json = Health.Self_heal.json report in
+      (match model_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "model-check: wrote self-heal report to %s\n" path
+      | None -> print_string json);
+      let failed = ref false in
+      (match max_mape with
+      | Some cap when report.Health.Self_heal.sh_post_max_mape_pct > cap ->
+          Printf.eprintf
+            "model-check: post-swap MAPE %.3f%% exceeds --max-mape %.3f%%\n"
+            report.Health.Self_heal.sh_post_max_mape_pct cap;
+          failed := true
+      | _ -> ());
+      if
+        expect_drift
+        && (report.Health.Self_heal.sh_incidents_fired = 0
+           || report.Health.Self_heal.sh_swaps = 0)
+      then begin
+        Printf.eprintf
+          "model-check: --expect-drift but no incident fired or no model \
+           swapped (perturb %.1f%%)\n"
+          perturb;
+        failed := true
+      end;
+      if !failed then exit 1
+    end
+    else begin
     let report =
       Psbox_model.Model.Check.run ~fit_seed:seed_a ~val_seed:seed_b
         ~window:(Psbox_engine.Time.ms window_ms) ~windows ~perturb_pct:perturb
@@ -477,28 +594,162 @@ let model_check_cmd =
       failed := true
     end;
     if !failed then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "model-check" ~doc ~man)
     Term.(
       const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows $ perturb
-      $ max_mape $ expect_drift $ model_out)
+      $ max_mape $ expect_drift $ model_out $ self_heal)
+
+let health_check_cmd =
+  let doc =
+    "Run the drift-injection self-healing demo and emit the deterministic \
+     incident log as JSON."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Fits ground-truth power models on $(b,--seed), perturbs their \
+         coefficients by $(b,--perturb) percent, then re-runs the reference \
+         scenario under $(b,--val-seed) with the perturbed estimator, the \
+         health engine's default rule pack, and the online recalibration \
+         responder. The drift incident fires once per drifted rail, the \
+         responder recalibrates from the live recorder trace and hot-swaps \
+         the refit under the estimator, and the incident resolves when the \
+         MAPE gauge clears the hysteresis margin.";
+      `P
+        "stdout (or $(b,--health-out)) is the engine's incident log: every \
+         incident's open/fire/resolve timestamps, peak signal value and \
+         per-rule fired counts — byte-reproducible for given seeds.";
+    ]
+  in
+  let seed_a =
+    let doc = "Seed for the fitting (ground truth) run." in
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"INT" ~doc)
+  in
+  let seed_b =
+    let doc = "Seed for the monitored validation run." in
+    Arg.(value & opt int 23 & info [ "val-seed" ] ~docv:"INT" ~doc)
+  in
+  let window_ms =
+    let doc = "Observation window in milliseconds." in
+    Arg.(value & opt int 50 & info [ "window-ms" ] ~docv:"MS" ~doc)
+  in
+  let windows =
+    let doc = "Number of windows per run." in
+    Arg.(value & opt int 60 & info [ "windows" ] ~docv:"N" ~doc)
+  in
+  let perturb =
+    let doc =
+      "Scale the fitted coefficients by (1 + $(docv)/100) before the \
+       monitored run — the injected drift."
+    in
+    Arg.(value & opt float 0.0 & info [ "perturb" ] ~docv:"PCT" ~doc)
+  in
+  let drift_threshold =
+    let doc = "Drift rule threshold on the rail MAPE gauges, in percent." in
+    Arg.(value & opt float 5.0 & info [ "drift-threshold" ] ~docv:"PCT" ~doc)
+  in
+  let max_mape =
+    let doc =
+      "Fail (exit 1) if the worst rail's post-swap held-out MAPE exceeds \
+       $(docv) percent."
+    in
+    Arg.(value & opt (some float) None & info [ "max-mape" ] ~docv:"PCT" ~doc)
+  in
+  let expect_heal =
+    let doc =
+      "Fail (exit 1) unless at least one drift incident fired and at least \
+       one model was hot-swapped."
+    in
+    Arg.(value & flag & info [ "expect-heal" ] ~doc)
+  in
+  let health_out =
+    let doc = "Write the incident log JSON to $(docv) instead of stdout." in
+    Arg.(
+      value & opt (some string) None & info [ "health-out" ] ~docv:"FILE" ~doc)
+  in
+  let report_out =
+    let doc = "Also write the self-heal report JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let run sched seed_a seed_b window_ms windows perturb drift_threshold
+      max_mape expect_heal health_out report_out =
+    Psbox_engine.Sim.set_default_backend sched;
+    if window_ms <= 0 || windows <= 0 then begin
+      Printf.eprintf
+        "health-check: --window-ms and --windows must be positive\n";
+      exit 2
+    end;
+    Audit.enable ();
+    let report, eng =
+      Health.Self_heal.run ~fit_seed:seed_a ~val_seed:seed_b
+        ~window:(Psbox_engine.Time.ms window_ms) ~windows ~perturb_pct:perturb
+        ~drift_threshold_pct:drift_threshold ()
+    in
+    let log = Health.json eng in
+    (match health_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc log;
+        close_out oc;
+        Printf.printf "health-check: wrote incident log to %s\n" path
+    | None -> print_string log);
+    (match report_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Health.Self_heal.json report);
+        close_out oc;
+        Printf.printf "health-check: wrote self-heal report to %s\n" path
+    | None -> ());
+    let failed = ref false in
+    (match max_mape with
+    | Some cap when report.Health.Self_heal.sh_post_max_mape_pct > cap ->
+        Printf.eprintf
+          "health-check: post-swap MAPE %.3f%% exceeds --max-mape %.3f%%\n"
+          report.Health.Self_heal.sh_post_max_mape_pct cap;
+        failed := true
+    | _ -> ());
+    if
+      expect_heal
+      && (report.Health.Self_heal.sh_incidents_fired = 0
+         || report.Health.Self_heal.sh_swaps = 0)
+    then begin
+      Printf.eprintf
+        "health-check: --expect-heal but no incident fired or no model \
+         swapped (perturb %.1f%%)\n"
+        perturb;
+      failed := true
+    end;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "health-check" ~doc ~man)
+    Term.(
+      const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows $ perturb
+      $ drift_threshold $ max_mape $ expect_heal $ health_out $ report_out)
 
 (* Default command: bare experiment ids work without the `run` subcommand
    (`psbox_sim --trace-out t.json budget`). *)
 let default_term =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run sched seed trace_out metrics audit_out flame_out ids =
+  let run sched seed trace_out metrics metrics_out audit_out flame_out
+      health_out ids =
     match ids with
     | [] -> `Help (`Pager, None)
     | ids ->
-        run_ids sched seed trace_out metrics audit_out flame_out ids;
+        run_ids sched seed trace_out metrics metrics_out audit_out flame_out
+          health_out ids;
         `Ok ()
   in
   Term.(
     ret
       (const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-     $ audit_out_arg $ flame_out_arg $ ids))
+     $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
+     $ ids))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in
@@ -508,5 +759,5 @@ let () =
        (Cmd.group ~default:default_term info
           [
             list_cmd; run_cmd; all_cmd; fleet_cmd; trace_check_cmd;
-            audit_check_cmd; model_check_cmd;
+            audit_check_cmd; model_check_cmd; health_check_cmd;
           ]))

@@ -10,6 +10,12 @@ module Tt = Psbox_telemetry.Tracing
 let budget_track = "budget"
 let m_ticks = Tm.counter "budget.ticks"
 
+(* Machine-wide cap-violation count: one per (entry, tick) whose windowed
+   mean overshoots its effective cap by >5% — the "bad events" numerator
+   the health engine's SLO burn-rate rules consume (budget.ticks being the
+   denominator). *)
+let m_violations = Tm.counter "budget.cap_violations"
+
 (* pre-resolved: control ticks are one-shot events, re-armed on demand *)
 let m_tick_events = Tm.counter "sim.events.budget.tick"
 
@@ -40,6 +46,7 @@ type entry = {
   e_lane : string; (* "app<id>" *)
   e_g_throttle : Tm.gauge; (* budget.app<id>.throttle_level *)
   e_g_measured : Tm.gauge; (* budget.app<id>.measured_w *)
+  e_c_viol : Tm.counter; (* budget.app<id>.violations *)
 }
 
 type t = {
@@ -156,6 +163,12 @@ let control_entry ctl e =
   let cap = effective_cap_of ctl e in
   e.e_history <- (now ctl, meas, cap) :: e.e_history;
   Tm.set e.e_g_measured meas;
+  (* the fleet layer's violation criterion, counted live so SLO burn-rate
+     rules can watch it stream *)
+  if Float.is_finite cap && meas > cap *. 1.05 then begin
+    Tm.incr m_violations;
+    Tm.incr e.e_c_viol
+  end;
   if Tt.recording () then
     Tt.span ~track:budget_track ~lane:e.e_lane ~name:"control"
       ~args:
@@ -313,6 +326,8 @@ let entry ctl app =
             Tm.gauge (Printf.sprintf "budget.app%d.throttle_level" app);
           e_g_measured =
             Tm.gauge (Printf.sprintf "budget.app%d.measured_w" app);
+          e_c_viol =
+            Tm.counter (Printf.sprintf "budget.app%d.violations" app);
         }
       in
       Tm.set e.e_g_throttle e.e_throttle;
@@ -332,6 +347,18 @@ let set_envelope ctl ~app ~joules ~horizon =
   e.e_demand <- Envelope { joules; horizon };
   e.e_env_set_t <- now ctl;
   e.e_env_base_j <- app_total_j ctl ~app
+
+let tighten ?(factor = 0.9) ctl ~app =
+  if not (Float.is_finite factor) || factor <= 0.0 || factor >= 1.0 then
+    invalid_arg "Budget.tighten: factor must be in (0, 1)";
+  match Hashtbl.find_opt ctl.entries app with
+  | None -> ()
+  | Some e -> (
+      match e.e_demand with
+      | Cap w when Float.is_finite w -> e.e_demand <- Cap (w *. factor)
+      | Cap _ -> () (* an uncapped entry has nothing to ratchet *)
+      | Envelope { joules; horizon } ->
+          e.e_demand <- Envelope { joules = joules *. factor; horizon })
 
 let clear ctl ~app =
   match Hashtbl.find_opt ctl.entries app with

@@ -67,6 +67,15 @@ val set_envelope :
     now. After the horizon expires the effective cap is 0 (throttle
     floor). *)
 
+val tighten : ?factor:float -> t -> app:int -> unit
+(** Ratchet [app]'s demand down one step: a finite {!Cap} becomes
+    [watts *. factor], an {!Envelope}'s remaining allowance becomes
+    [joules *. factor] (horizon unchanged). Default [factor] is [0.9].
+    No-op on an unbudgeted app or an [infinity] cap — there is nothing
+    to ratchet. This is the knob health responders pull on sustained
+    cap-violation incidents. @raise Invalid_argument unless
+    [factor] is in (0, 1). *)
+
 val clear : t -> app:int -> unit
 (** Drop [app]'s budget and release all of its actuators. *)
 

@@ -5,6 +5,7 @@ module Entity = Psbox_kernel.Entity
 module W = Psbox_workloads.Workload
 module Budget = Psbox_budget.Budget
 module Audit = Psbox_audit.Audit
+module Health = Psbox_health.Health
 module Tm = Psbox_telemetry.Metrics
 
 type params = {
@@ -25,6 +26,7 @@ type device = {
   d_windows : int;
   d_total_j : float;
   d_metrics : Tm.export;
+  d_incidents : (string * int) list;
 }
 
 type dist = {
@@ -46,6 +48,7 @@ type summary = {
   s_violation_rate : float;
   s_violations : dist;
   s_metrics : Tm.export;
+  s_incident_rates : (string * float) list;
 }
 
 let scenario_ids = [ "budget"; "steady"; "mixed" ]
@@ -80,9 +83,27 @@ let machine ?gpu ?wifi ~sys_seed p =
   System.create ~seed:sys_seed ~cores:p.p_cores ~cpu_governor:(governor p)
     ~cpu_idle_w:(0.3 *. p.p_idle_scale) ?gpu ?wifi ()
 
-(* Each scenario returns the machine, its audit ledger and the capped
-   app's control history (empty when nothing is capped). *)
-let run_scenario ~scenario ~sys_seed p =
+(* Observe-only per-device health: the default rule pack with no
+   responders, so attaching it never changes a device's event stream —
+   only its incident log. *)
+let health_engine ~health sys =
+  if not health then None
+  else begin
+    let eng = Health.create (System.sim sys) () in
+    Health.add_rules eng (Health.default_pack sys);
+    Some eng
+  end
+
+let finish_health = function
+  | None -> []
+  | Some eng ->
+      Health.stop eng;
+      Health.incident_counts eng
+
+(* Each scenario returns the machine, its audit ledger, the capped app's
+   control history (empty when nothing is capped) and its fired-incident
+   counts (empty unless [health]). *)
+let run_scenario ~health ~scenario ~sys_seed p =
   match scenario with
   | "budget" ->
       (* An interactive tenant with a duty-cycled frame loop sharing the
@@ -106,13 +127,15 @@ let run_scenario ~scenario ~sys_seed p =
            (W.forever (fun () ->
                 [ W.Compute (Time.ms 5); W.Count ("units", 1.0) ])));
       System.start sys;
+      let eng = health_engine ~health sys in
       let ctl = Budget.create sys () in
       Budget.set_cap ctl ~app:batch.System.app_id ~watts:p.p_cap_w;
       System.run_for sys (Time.sec 2);
       let hist = Budget.history ctl ~app:batch.System.app_id in
       Budget.stop ctl;
+      let incs = finish_health eng in
       System.shutdown sys;
-      (sys, audit, hist)
+      (sys, audit, hist, incs)
   | "steady" ->
       let sys = machine ~sys_seed p in
       let audit = Audit.attach sys in
@@ -126,9 +149,11 @@ let run_scenario ~scenario ~sys_seed p =
                   W.Count ("units", 1.0);
                 ])));
       System.start sys;
+      let eng = health_engine ~health sys in
       System.run_for sys (Time.sec 2);
+      let incs = finish_health eng in
       System.shutdown sys;
-      (sys, audit, [])
+      (sys, audit, [], incs)
   | "mixed" ->
       (* A render tenant burning CPU + GPU + WiFi per frame, capped, next
          to an uncapped sync tenant — exercises multi-rail attribution and
@@ -156,13 +181,15 @@ let run_scenario ~scenario ~sys_seed p =
                   W.Count ("sends", 1.0);
                 ])));
       System.start sys;
+      let eng = health_engine ~health sys in
       let ctl = Budget.create sys () in
       Budget.set_cap ctl ~app:render.System.app_id ~watts:p.p_cap_w;
       System.run_for sys (Time.sec 2);
       let hist = Budget.history ctl ~app:render.System.app_id in
       Budget.stop ctl;
+      let incs = finish_health eng in
       System.shutdown sys;
-      (sys, audit, hist)
+      (sys, audit, hist, incs)
   | other -> invalid_arg ("Fleet: unknown scenario " ^ other)
 
 (* ---- one device ----------------------------------------------------- *)
@@ -219,7 +246,7 @@ let count_violations hist =
       (viol, windows))
     (0, 0) hist
 
-let run_device ~scenario ~fleet_seed idx =
+let run_device ?(health = false) ~scenario ~fleet_seed idx =
   if not (List.mem scenario scenario_ids) then
     invalid_arg ("Fleet: unknown scenario " ^ scenario);
   let p = params_of ~scenario ~fleet_seed idx in
@@ -235,7 +262,9 @@ let run_device ~scenario ~fleet_seed idx =
       Fun.protect
         ~finally:(fun () -> Audit.set_report_mode saved_report)
         (fun () ->
-          let sys, audit, hist = run_scenario ~scenario ~sys_seed p in
+          let sys, audit, hist, d_incidents =
+            run_scenario ~health ~scenario ~sys_seed p
+          in
           let d_violations, d_windows = count_violations hist in
           {
             d_index = idx;
@@ -247,6 +276,7 @@ let run_device ~scenario ~fleet_seed idx =
             d_windows;
             d_total_j = System.live_energy_j sys;
             d_metrics = Tm.export ();
+            d_incidents;
           }))
 
 (* ---- work-stealing domain pool -------------------------------------- *)
@@ -317,11 +347,12 @@ let pool_map ~jobs n f =
       results
   end
 
-let run_devices ?(jobs = 1) ~scenario ~devices ~seed () =
+let run_devices ?(jobs = 1) ?health ~scenario ~devices ~seed () =
   if devices < 0 then invalid_arg "Fleet.run_devices: negative device count";
   if not (List.mem scenario scenario_ids) then
     invalid_arg ("Fleet: unknown scenario " ^ scenario);
-  pool_map ~jobs devices (fun i -> run_device ~scenario ~fleet_seed:seed i)
+  pool_map ~jobs devices (fun i ->
+      run_device ?health ~scenario ~fleet_seed:seed i)
 
 (* ---- reduction ------------------------------------------------------ *)
 
@@ -398,6 +429,23 @@ let summarize ~scenario ~seed devices =
   let s_metrics =
     Array.fold_left (fun acc d -> Tm.merge acc d.d_metrics) [] devices
   in
+  (* fired incidents per rule per 1000 devices — the fleet operations
+     number: "how often does this alert fire across the population" *)
+  let s_incident_rates =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun d ->
+        List.iter
+          (fun (rule, c) ->
+            Hashtbl.replace tbl rule
+              (c + Option.value ~default:0 (Hashtbl.find_opt tbl rule)))
+          d.d_incidents)
+      devices;
+    Hashtbl.fold (fun rule c acc -> (rule, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (rule, c) ->
+           (rule, float_of_int c *. 1000.0 /. float_of_int (Stdlib.max n 1)))
+  in
   {
     s_scenario = scenario;
     s_seed = seed;
@@ -409,10 +457,12 @@ let summarize ~scenario ~seed devices =
       (if n = 0 then 0.0 else float_of_int violated /. float_of_int n);
     s_violations;
     s_metrics;
+    s_incident_rates;
   }
 
-let run ?jobs ~scenario ~devices ~seed () =
-  summarize ~scenario ~seed (run_devices ?jobs ~scenario ~devices ~seed ())
+let run ?jobs ?health ~scenario ~devices ~seed () =
+  summarize ~scenario ~seed
+    (run_devices ?jobs ?health ~scenario ~devices ~seed ())
 
 (* ---- rendering ------------------------------------------------------ *)
 
@@ -428,6 +478,9 @@ let pp_device fmt d =
   List.iter
     (fun (c, j) -> Format.fprintf fmt "cause %s %.17g@\n" c j)
     d.d_cause_j;
+  List.iter
+    (fun (rule, c) -> Format.fprintf fmt "incident %s %d@\n" rule c)
+    d.d_incidents;
   Format.fprintf fmt "violations %d/%d@\n" d.d_violations d.d_windows;
   Format.fprintf fmt "total_j %.17g@\n" d.d_total_j;
   List.iter
@@ -485,6 +538,13 @@ let pp_json fmt s =
   Format.fprintf fmt
     "  \"violations\": {\"rate\": %s, \"per_device\": %a},@\n"
     (json_num s.s_violation_rate) pp_dist s.s_violations;
+  Format.fprintf fmt "  \"incidents_per_1000\": {";
+  List.iteri
+    (fun i (rule, rate) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s: %s" (json_str rule) (json_num rate))
+    s.s_incident_rates;
+  Format.fprintf fmt "},@\n";
   Format.fprintf fmt "  \"metrics\": {";
   let first = ref true in
   List.iter

@@ -53,6 +53,9 @@ type device = {
   d_windows : int;  (** control windows observed *)
   d_total_j : float;  (** machine energy ledger at end of run *)
   d_metrics : Psbox_telemetry.Metrics.export;
+  d_incidents : (string * int) list;
+      (** fired health incidents per rule name, sorted by rule; empty
+          unless the device ran with [~health:true] *)
 }
 
 type dist = {
@@ -82,6 +85,9 @@ type summary = {
   s_metrics : Psbox_telemetry.Metrics.export;
       (** all device metric exports merged (counters summed, histograms
           bucket-merged, gauges maxed) in device-index order *)
+  s_incident_rates : (string * float) list;
+      (** fired health incidents per rule per 1000 devices, sorted by
+          rule name — the reduction of every device's incident log *)
 }
 
 val scenario_ids : string list
@@ -92,14 +98,21 @@ val scenario_ids : string list
 val params_of : scenario:string -> fleet_seed:int -> int -> params
 (** The heterogeneity sample for device [i] — pure in [(fleet_seed, i)]. *)
 
-val run_device : scenario:string -> fleet_seed:int -> int -> device
+val run_device :
+  ?health:bool -> scenario:string -> fleet_seed:int -> int -> device
 (** Simulate device [i] in isolation: fresh metric store, reset id
     counters, its own audit ledger (never registered for reports).
-    Deterministic in [(scenario, fleet_seed, i)] alone.
+    Deterministic in [(scenario, fleet_seed, i)] alone. With
+    [~health:true] (default false) an observe-only
+    {!Psbox_health.Health} engine with the default rule pack rides the
+    device — no responders, so the event stream is untouched — and its
+    fired-incident counts land in {!device.d_incidents}.
     @raise Invalid_argument on an unknown scenario. *)
 
 val run_devices :
-  ?jobs:int -> scenario:string -> devices:int -> seed:int -> unit ->
+  ?jobs:int ->
+  ?health:bool ->
+  scenario:string -> devices:int -> seed:int -> unit ->
   device array
 (** All devices, in index order. [jobs] defaults to 1; values > 1 shard
     across that many domains (capped at [devices]). *)
@@ -107,7 +120,9 @@ val run_devices :
 val summarize : scenario:string -> seed:int -> device array -> summary
 
 val run :
-  ?jobs:int -> scenario:string -> devices:int -> seed:int -> unit -> summary
+  ?jobs:int ->
+  ?health:bool ->
+  scenario:string -> devices:int -> seed:int -> unit -> summary
 
 val pp_device : Format.formatter -> device -> unit
 (** Canonical textual form, floats [%.17g] — two equal devices render to

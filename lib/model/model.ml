@@ -25,6 +25,7 @@ module W = Psbox_workloads.Workload
 
 let model_track = "model"
 let m_drift_alarms = Tm.counter "model.drift.alarms"
+let m_swaps = Tm.counter "model.swaps"
 
 (* ------------------------------------------------------------------ *)
 (* Traces: windowed (feature delta, joule delta) observations per rail  *)
@@ -411,12 +412,7 @@ module Recorder = struct
       rc_stopped = false;
     }
 
-  let stop t =
-    if not t.rc_stopped then begin
-      t.rc_stopped <- true;
-      Sim.cancel_every t.rc_periodic;
-      List.iter (fun rr -> rr.rr_s.s_detach ()) t.rc_rails
-    end;
+  let traces_of t =
     List.map
       (fun rr ->
         {
@@ -427,6 +423,16 @@ module Recorder = struct
           tr_windows = List.rev rr.rr_windows;
         })
       t.rc_rails
+
+  let current t = traces_of t
+
+  let stop t =
+    if not t.rc_stopped then begin
+      t.rc_stopped <- true;
+      Sim.cancel_every t.rc_periodic;
+      List.iter (fun rr -> rr.rr_s.s_detach ()) t.rc_rails
+    end;
+    traces_of t
 end
 
 (* ------------------------------------------------------------------ *)
@@ -434,7 +440,7 @@ end
 
 module Estimator = struct
   type est_rail = {
-    er_model : Fit.fitted;
+    mutable er_model : Fit.fitted;
     er_s : sampler;
     mutable er_prev_f : float array;
     mutable er_prev_j : float;
@@ -459,6 +465,7 @@ module Estimator = struct
     mutable e_cum_ledger_j : float;
     mutable e_ticks : int;
     mutable e_alarms : int;
+    mutable e_swaps : int;
     mutable e_stopped : bool;
   }
 
@@ -581,6 +588,7 @@ module Estimator = struct
         e_cum_ledger_j = 0.0;
         e_ticks = 0;
         e_alarms = 0;
+        e_swaps = 0;
         e_stopped = false;
       }
     in
@@ -599,6 +607,34 @@ module Estimator = struct
 
   let alarms t = t.e_alarms
   let ticks t = t.e_ticks
+  let swaps t = t.e_swaps
+
+  let model t ~rail =
+    List.find_opt (fun er -> er.er_s.s_rail = rail) t.e_rails
+    |> Option.map (fun er -> er.er_model)
+
+  (* Hot-swap a rail's model under the live estimator: the MAPE ring and
+     drift latch restart from scratch so the published mape_pct reflects
+     only the new model, while the counter cursors (er_prev_f/er_prev_j)
+     carry over — residency is a property of the machine, not the model. *)
+  let swap_model t m =
+    match
+      List.find_opt (fun er -> er.er_s.s_rail = m.Fit.f_rail) t.e_rails
+    with
+    | None -> false
+    | Some er ->
+        er.er_model <- m;
+        Array.fill er.er_ring 0 (Array.length er.er_ring) 0.0;
+        er.er_ring_i <- 0;
+        er.er_ring_n <- 0;
+        er.er_latched <- false;
+        t.e_swaps <- t.e_swaps + 1;
+        Tm.incr m_swaps;
+        if Tt.recording () then
+          Tt.instant ~track:model_track ~lane:er.er_s.s_rail ~name:"swap"
+            ~args:[ ("swaps", float_of_int t.e_swaps) ]
+            (Sim.now (System.sim t.e_sys));
+        true
 
   let est_w t ~rail =
     List.find_opt (fun er -> er.er_s.s_rail = rail) t.e_rails
@@ -671,8 +707,8 @@ module Calibrate = struct
      idle floor, "busy@<f>mhz_s" the per-OPP active watts, "suspended_s"
      the suspend_w - idle_w delta, ...), and the objective is the RMSE of
      the induced model on the reference windows. *)
-  let calibrate_trace ?(kind = Fit.Per_opp) ~seed ?rounds ?samples
-      (trace : Trace.t) =
+  let calibrate_trace ?(kind = Fit.Per_opp) ~seed ?rounds ?samples ?around
+      ?(margin = 0.3) (trace : Trace.t) =
     let names =
       match kind with
       | Fit.Per_opp -> trace.Trace.tr_names
@@ -684,14 +720,32 @@ module Calibrate = struct
         trace.Trace.tr_windows
     in
     let dims =
-      Array.to_list
-        (Array.map
-           (fun n ->
-             (* idle floors are non-negative; state deltas (suspend, awake)
-                may run below the idle coefficient *)
-             if n = "dt_s" then { d_name = n; d_lo = 0.0; d_hi = 3.0 }
-             else { d_name = n; d_lo = -2.0; d_hi = 6.0 })
-           names)
+      match around with
+      | Some (m : Fit.fitted) ->
+          (* Recalibration: the incumbent model is wrong but not arbitrary,
+             so search a tight box centered on it — the first round's center
+             IS the incumbent — instead of the blind full-range box. *)
+          if m.Fit.f_kind <> kind || Array.length m.Fit.f_coeffs <> Array.length names
+          then
+            invalid_arg "Model.Calibrate.calibrate_trace: around schema mismatch";
+          Array.to_list
+            (Array.mapi
+               (fun i n ->
+                 let c = m.Fit.f_coeffs.(i) in
+                 let half = Float.max (margin *. Float.abs c) 0.05 in
+                 let lo = c -. half and hi = c +. half in
+                 let lo = if n = "dt_s" then Float.max 0.0 lo else lo in
+                 { d_name = n; d_lo = lo; d_hi = hi })
+               names)
+      | None ->
+          Array.to_list
+            (Array.map
+               (fun n ->
+                 (* idle floors are non-negative; state deltas (suspend,
+                    awake) may run below the idle coefficient *)
+                 if n = "dt_s" then { d_name = n; d_lo = 0.0; d_hi = 3.0 }
+                 else { d_name = n; d_lo = -2.0; d_hi = 6.0 })
+               names)
     in
     let objective coeffs =
       let n = ref 0 and se = ref 0.0 in

@@ -89,6 +89,11 @@ module Recorder : sig
       (features, ledger joules) every [window] (default 50 ms). Pure
       observer. *)
 
+  val current : t -> Trace.t list
+  (** The windows recorded so far, one trace per rail, without detaching —
+      the recorder keeps accumulating. This is what an online responder
+      reads to recalibrate mid-run. *)
+
   val stop : t -> Trace.t list
   (** Detach and return one trace per rail. Idempotent. *)
 end
@@ -125,6 +130,19 @@ module Estimator : sig
 
   val ticks : t -> int
 
+  val swaps : t -> int
+  (** Model hot-swaps performed on this estimator so far. *)
+
+  val model : t -> rail:string -> Fit.fitted option
+  (** The model currently estimating [rail]. *)
+
+  val swap_model : t -> Fit.fitted -> bool
+  (** Hot-swap the model for the rail named by [f_rail]: the MAPE window
+      and drift latch restart from scratch (so [mape_pct] reflects only
+      the new model) while the residency cursors carry over. Counts under
+      [model.swaps] and emits a ["swap"] trace instant. [false] if the
+      estimator observes no such rail. *)
+
   val est_w : t -> rail:string -> float option
   (** Latest per-window model estimate for a rail, in watts. *)
 
@@ -160,13 +178,21 @@ module Calibrate : sig
     seed:int ->
     ?rounds:int ->
     ?samples:int ->
+    ?around:Fit.fitted ->
+    ?margin:float ->
     Trace.t ->
     Fit.fitted * float
   (** Recover a rail's power parameters from a reference trace by
       searching coefficient space directly (the coefficients {e are} the
       hardware parameters: the ["dt_s"] coefficient is the idle floor,
       ["busy@<f>mhz_s"] the per-OPP active watts, ...). Returns the
-      calibrated model and its RMSE in watts. *)
+      calibrated model and its RMSE in watts.
+
+      With [around], the box is centered on an incumbent model's
+      coefficients with half-width [max (margin * |c|) 0.05] per dimension
+      (default [margin] 0.3) — the online-recalibration mode: a drifted
+      model is wrong but not arbitrary, and the tight box makes the
+      search converge where the blind full-range box would not. *)
 end
 
 (** {1 model-check: fit/validate cross-check} *)

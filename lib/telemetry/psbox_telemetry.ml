@@ -261,10 +261,14 @@ module Metrics = struct
 
   (* Prometheus-style quantile estimate: find the bucket holding the
      rank, interpolate linearly inside it; observations in the overflow
-     bucket report the last finite edge. *)
-  let quantile_ec edges counts q =
+     bucket report the last finite edge. A histogram whose observations
+     were all exactly zero ([sum = 0] with a non-negative value domain)
+     reports 0 instead of interpolating phantom mass into the first
+     bucket. *)
+  let quantile_ec edges counts ~sum q =
     let n = Array.fold_left ( + ) 0 counts in
     if n = 0 then None
+    else if sum = 0.0 && edges.(0) >= 0.0 then Some 0.0
     else begin
       let rank = q *. float_of_int n in
       let nedges = Array.length edges in
@@ -284,7 +288,9 @@ module Metrics = struct
       go 0 0
     end
 
-  let quantile h q = quantile_ec h.hm_edges (hcell_of h).h_counts q
+  let quantile h q =
+    let cell = hcell_of h in
+    quantile_ec h.hm_edges cell.h_counts ~sum:cell.h_sum q
 
   (* ---- mergeable exports ------------------------------------------- *)
 
@@ -362,7 +368,7 @@ module Metrics = struct
         let percentiles =
           List.filter_map
             (fun (label, q) ->
-              match quantile_ec edges counts q with
+              match quantile_ec edges counts ~sum q with
               | Some v -> Some (name ^ "." ^ label, fmt_value v)
               | None -> None)
             [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
@@ -387,6 +393,33 @@ module Metrics = struct
     | Some (CGauge g) -> Some g.g
     | Some (CHist _) | None -> None
 
+  (* ---- windowed counter rates --------------------------------------- *)
+
+  (* A rate tracker holds the delta bookkeeping health rules would
+     otherwise each re-implement: sample the named counter (or gauge) on a
+     caller-chosen grid and get back the per-second delta since the last
+     sample. The previous observation lives in the tracker itself, so two
+     trackers on one metric never interfere. *)
+  type rate = {
+    r_name : string;
+    mutable r_prev : (float * float) option; (* (t_s, value) at last sample *)
+  }
+
+  let rate name = { r_name = name; r_prev = None }
+  let rate_name r = r.r_name
+
+  let rate_sample r ~now_s =
+    match find r.r_name with
+    | None ->
+        r.r_prev <- None;
+        None
+    | Some v -> (
+        let prev = r.r_prev in
+        r.r_prev <- Some (now_s, v);
+        match prev with
+        | Some (t0, v0) when now_s > t0 -> Some ((v -. v0) /. (now_s -. t0))
+        | Some _ | None -> None)
+
   let dump fmt () =
     List.iter
       (fun (name, v) -> Format.fprintf fmt "%s %s@\n" name v)
@@ -410,6 +443,53 @@ module Metrics = struct
     let prev = Domain.DLS.get store_key in
     Domain.DLS.set store_key (new_store ());
     Fun.protect ~finally:(fun () -> Domain.DLS.set store_key prev) f
+end
+
+module Openmetrics = struct
+  (* Prometheus/OpenMetrics text exposition of a metric export. Names map
+     dots to underscores (the only character in our hierarchical names
+     that the format forbids); rows keep the export's sorted-by-name order
+     and histograms expand to cumulative _bucket rows (closed by the +Inf
+     bucket), _sum and _count — so the output is byte-deterministic for a
+     given update history, just like Metrics.snapshot. *)
+
+  let sanitize name =
+    String.map (fun c -> if c = '.' then '_' else c) name
+
+  let pp fmt (e : Metrics.export) =
+    List.iter
+      (fun (name, v) ->
+        let n = sanitize name in
+        match v with
+        | Metrics.Counter_v c ->
+            Format.fprintf fmt "# TYPE %s counter@\n%s %s@\n" n n (fmt_value c)
+        | Metrics.Gauge_v g ->
+            Format.fprintf fmt "# TYPE %s gauge@\n%s %s@\n" n n (fmt_value g)
+        | Metrics.Histogram_v { edges; counts; sum } ->
+            Format.fprintf fmt "# TYPE %s histogram@\n" n;
+            let cum = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cum := !cum + c;
+                Format.fprintf fmt "%s_bucket{le=\"%g\"} %d@\n" n edges.(i)
+                  !cum)
+              (Array.sub counts 0 (Array.length edges));
+            cum := !cum + counts.(Array.length edges);
+            Format.fprintf fmt "%s_bucket{le=\"+Inf\"} %d@\n" n !cum;
+            Format.fprintf fmt "%s_sum %s@\n" n (fmt_value sum);
+            Format.fprintf fmt "%s_count %d@\n" n !cum)
+      e;
+    Format.fprintf fmt "# EOF@\n"
+
+  let of_export e = Format.asprintf "%a" pp e
+  let to_string () = of_export (Metrics.export ())
+
+  let write path e =
+    let oc = open_out path in
+    let fmt = Format.formatter_of_out_channel oc in
+    pp fmt e;
+    Format.pp_print_flush fmt ();
+    close_out oc
 end
 
 module Tracing = struct

@@ -78,7 +78,32 @@ module Metrics : sig
   (** Prometheus-style quantile estimate from the bucket counts: locate
       the bucket holding the rank, interpolate linearly inside it;
       observations in the [+inf] overflow bucket report the last finite
-      edge. [None] on an empty histogram. *)
+      edge. [None] on an empty histogram; exactly [0] (no interpolation)
+      when every recorded observation was zero, so all-zero histograms
+      never report phantom mass from the first bucket. *)
+
+  (** {2 Windowed counter rates}
+
+      The delta bookkeeping behind "events per second over the last
+      window", packaged once so streaming consumers (health rules) don't
+      each re-implement it. A tracker is an independent cursor over one
+      named metric: it remembers the value it saw at the previous sample
+      and answers the per-second delta. *)
+
+  type rate
+
+  val rate : string -> rate
+  (** A fresh tracker over the named counter or gauge. The metric does not
+      have to exist yet. *)
+
+  val rate_name : rate -> string
+
+  val rate_sample : rate -> now_s:float -> float option
+  (** Record the metric's current value at [now_s] and return
+      [(value - previous) / (now_s - previous_t)]. [None] on the first
+      sample after creation, whenever the metric is unregistered in the
+      current store (the tracker then restarts from scratch), or if no
+      time has passed. *)
 
   val snapshot : unit -> (string * string) list
   (** Every registered metric as [(row_name, value)] pairs, metrics sorted
@@ -144,6 +169,25 @@ module Metrics : sig
       (also on exception). Handles created before, during or after remain
       valid in both scopes. This is how one device simulation is isolated
       from the next when devices run sequentially in a single domain. *)
+end
+
+(** {1 OpenMetrics / Prometheus text exposition}
+
+    Renders a metric export in the Prometheus text exposition format
+    ([# TYPE] lines; histograms as cumulative [_bucket] rows closed by
+    [+Inf], plus [_sum] and [_count]). Dots in metric names become
+    underscores; rows keep the export's sorted-by-name order, so output is
+    byte-deterministic for a given update history — the [--metrics-out]
+    file format. *)
+module Openmetrics : sig
+  val pp : Format.formatter -> Metrics.export -> unit
+  val of_export : Metrics.export -> string
+
+  val to_string : unit -> string
+  (** The current domain's store, exported and rendered. *)
+
+  val write : string -> Metrics.export -> unit
+  (** [write path e] — render to a file. *)
 end
 
 (** {1 Structured tracing}

@@ -1,0 +1,423 @@
+(* Tests for the streaming health engine: hysteresis latching (one
+   incident per excursion, re-arm below 80% of the threshold), the
+   pending -> firing -> resolved lifecycle with for-durations, absence
+   staleness, multi-window SLO burn and its monotone response to the
+   violation rate, responders actually acting (budget tightening,
+   self-healing recalibration), and the fleet incident rollup staying
+   byte-identical across job counts. *)
+open Psbox_engine
+module System = Psbox_kernel.System
+module Budget = Psbox_budget.Budget
+module Health = Psbox_health.Health
+module Fleet = Psbox_fleet.Fleet
+module Tm = Psbox_telemetry.Metrics
+module W = Psbox_workloads.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fired_count eng rule =
+  List.assoc_opt rule (Health.incident_counts eng) |> Option.value ~default:0
+
+(* Drive an engine by hand: a probe reads from a mutable cell, eval_now
+   consumes one value per call. Time never advances, which is fine for
+   every rule kind except rate_of_change (tested on the grid below). *)
+let drive_threshold ?for_windows ~limit values =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim () in
+      let cell = ref None in
+      Health.add_rule eng
+        (Health.threshold ~name:"t" ?for_windows
+           (Health.Probe ("p", fun () -> !cell))
+           limit);
+      List.iter
+        (fun v ->
+          cell := Some v;
+          Health.eval_now eng)
+        values;
+      eng)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: hysteresis latches — for any value sequence, the engine files
+   exactly as many incidents as the reference latch automaton (fire on
+   v > limit while armed, re-arm on v < 0.8 * limit), and with a
+   for-duration of 1 every opened incident also fires.                  *)
+
+let arbitrary_values =
+  QCheck.make
+    ~print:(fun vs ->
+      String.concat ";" (List.map (Printf.sprintf "%.2f") vs))
+    QCheck.Gen.(list_size (5 -- 60) (float_range 0.0 20.0))
+
+let prop_hysteresis_once_per_excursion =
+  QCheck.Test.make ~name:"threshold fires once per excursion" ~count:200
+    arbitrary_values (fun values ->
+      let limit = 10.0 in
+      let expected =
+        let armed = ref true and fired = ref 0 in
+        List.iter
+          (fun v ->
+            if !armed then begin
+              if v > limit then begin
+                incr fired;
+                armed := false
+              end
+            end
+            else if v < 0.8 *. limit then armed := true)
+          values;
+        !fired
+      in
+      let eng = drive_threshold ~limit values in
+      fired_count eng "t" = expected
+      && List.for_all
+           (fun i -> i.Health.i_fired_s <> None)
+           (Health.incidents eng))
+
+(* ------------------------------------------------------------------ *)
+(* for-duration: a breach must hold for [for_windows] consecutive
+   evaluations; a retreat while pending resolves without firing.        *)
+
+let test_for_windows_gate () =
+  let eng =
+    drive_threshold ~for_windows:3 ~limit:10.0
+      [ 12.0; 12.0; 5.0; 12.0; 12.0; 12.0; 12.0 ]
+  in
+  let incs = Health.incidents eng in
+  check_int "two incidents opened" 2 (List.length incs);
+  let first = List.nth incs 0 and second = List.nth incs 1 in
+  check_bool "first retreated before firing" true (first.Health.i_fired_s = None);
+  check_bool "first resolved" true (first.Health.i_resolved_s <> None);
+  check_bool "second fired" true (second.Health.i_fired_s <> None);
+  check_int "one fired" 1 (fired_count eng "t")
+
+(* A signal gap is no evidence either way: an open incident rides it out. *)
+let test_missing_signal_holds_state () =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim () in
+      let cell = ref None in
+      Health.add_rule eng
+        (Health.threshold ~name:"t" (Health.Probe ("p", fun () -> !cell)) 10.0);
+      cell := Some 12.0;
+      Health.eval_now eng;
+      cell := None;
+      Health.eval_now eng;
+      Health.eval_now eng;
+      check_int "still open through the gap" 1
+        (List.length (Health.open_incidents eng));
+      cell := Some 1.0;
+      Health.eval_now eng;
+      check_int "resolves once data returns" 0
+        (List.length (Health.open_incidents eng)))
+
+(* ------------------------------------------------------------------ *)
+(* absence: a metric that stops moving (or never registers) breaches
+   after stale_windows evaluations and resolves as soon as it moves.    *)
+
+let test_absence_staleness () =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim () in
+      let hb = Tm.counter "heartbeat" in
+      Health.add_rule eng
+        (Health.absence ~name:"dead" ~stale_windows:3 "heartbeat");
+      for _ = 1 to 5 do
+        Tm.incr hb;
+        Health.eval_now eng
+      done;
+      check_int "alive while moving" 0 (List.length (Health.incidents eng));
+      for _ = 1 to 3 do
+        Health.eval_now eng
+      done;
+      check_int "stale fires" 1 (fired_count eng "dead");
+      Tm.incr hb;
+      Health.eval_now eng;
+      check_int "movement resolves" 0
+        (List.length (Health.open_incidents eng)))
+
+let test_absence_never_registered () =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim () in
+      Health.add_rule eng (Health.absence ~name:"dead" ~stale_windows:2 "ghost");
+      Health.eval_now eng;
+      Health.eval_now eng;
+      check_int "unregistered metric is stale" 1 (fired_count eng "dead"))
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn: drive the cumulative counters by hand.                     *)
+
+let run_burn ~bads =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim ~period:(Time.ms 10) () in
+      let bad = Tm.counter "bad" and total = Tm.counter "total" in
+      Health.add_rule eng
+        (Health.slo_burn ~name:"burn" ~bad:"bad" ~total:"total" ~slo:0.1
+           ~short_windows:2 ~long_windows:4 ~factor:2.0 ());
+      (* counters advance just before each grid evaluation, so incident
+         timestamps index the evaluation that saw the breach *)
+      List.iteri
+        (fun k b ->
+          Tm.add bad b;
+          Tm.add total 10.0;
+          Sim.run_until sim (Time.ms (10 * (k + 1))))
+        bads;
+      Health.stop eng;
+      eng)
+
+let test_slo_burn_lifecycle () =
+  (* 5 warmup evals (needs long_windows + 1 samples), then a sustained
+     violation burst, then quiet: one incident, fired and resolved. *)
+  let bads =
+    List.init 5 (fun _ -> 0.0)
+    @ List.init 8 (fun _ -> 5.0)
+    @ List.init 8 (fun _ -> 0.0)
+  in
+  let eng = run_burn ~bads in
+  check_int "one incident" 1 (List.length (Health.incidents eng));
+  check_int "fired" 1 (fired_count eng "burn");
+  check_int "resolved" 0 (List.length (Health.open_incidents eng))
+
+let test_burn_rate_zero_guard () =
+  check_bool "zero total" true (Health.burn_rate ~bad:3.0 ~total:0.0 ~slo:0.1 = 0.0);
+  check_bool "zero slo" true (Health.burn_rate ~bad:3.0 ~total:10.0 ~slo:0.0 = 0.0);
+  check_bool "burn" true
+    (Float.abs (Health.burn_rate ~bad:3.0 ~total:10.0 ~slo:0.1 -. 3.0) < 1e-12)
+
+(* qcheck: the burn rate is monotone in the violation rate — add extra bad
+   events anywhere in the sequence and the rule can only fire sooner (or
+   equally), never later, and never go from firing to silent. *)
+let arbitrary_burn_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "base=[%s] extra=[%s]"
+        (String.concat ";" (List.map (Printf.sprintf "%.1f") a))
+        (String.concat ";" (List.map (Printf.sprintf "%.1f") b)))
+    QCheck.Gen.(
+      let* n = 8 -- 40 in
+      let* base = list_repeat n (float_range 0.0 4.0) in
+      let* extra = list_repeat n (float_range 0.0 4.0) in
+      return (base, extra))
+
+let first_fire eng =
+  List.find_map (fun i -> i.Health.i_fired_s) (Health.incidents eng)
+
+let prop_burn_monotone_in_violation_rate =
+  QCheck.Test.make ~name:"slo burn monotone in violation rate" ~count:100
+    arbitrary_burn_pair (fun (base, extra) ->
+      let eng_lo = run_burn ~bads:base in
+      let eng_hi = run_burn ~bads:(List.map2 ( +. ) base extra) in
+      (* per-window burn is pointwise >= under a pointwise-larger bad
+         stream (totals equal), so if the smaller stream ever fires, the
+         larger one fires no later *)
+      match (first_fire eng_lo, first_fire eng_hi) with
+      | None, _ -> true
+      | Some _, None -> false
+      | Some t_lo, Some t_hi -> t_hi <= t_lo)
+
+(* ------------------------------------------------------------------ *)
+(* rate_of_change needs real timestamps: run it on the evaluation grid. *)
+
+let test_rate_of_change_on_grid () =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim ~period:(Time.ms 10) () in
+      let g = Tm.gauge "level" in
+      Health.add_rule eng
+        (Health.rate_of_change ~name:"spike" (Health.Metric "level")
+           ~per_second:100.0);
+      Tm.set g 0.0;
+      Sim.run_until sim (Time.ms 10);
+      (* +10 over 10 ms = 1000/s: breach *)
+      Tm.set g 10.0;
+      Sim.run_until sim (Time.ms 20);
+      check_int "derivative breach fired" 1 (fired_count eng "spike");
+      (* flat signal: derivative 0 < 80 clears the latch *)
+      Sim.run_until sim (Time.ms 30);
+      check_int "flat resolves" 0 (List.length (Health.open_incidents eng));
+      Health.stop eng)
+
+(* The grid is demand-armed: no rules, no events; stop cancels the tick. *)
+let test_demand_armed_grid () =
+  Tm.with_fresh_store (fun () ->
+      let sim = Sim.create () in
+      let eng = Health.create sim ~period:(Time.ms 10) () in
+      Sim.run_until sim (Time.ms 100);
+      check_int "no rules, no evals" 0 (Health.evals eng);
+      Health.add_rule eng
+        (Health.threshold ~name:"t" (Health.Probe ("p", fun () -> Some 0.0)) 1.0);
+      Sim.run_until sim (Time.ms 150);
+      check_int "five grid evals" 5 (Health.evals eng);
+      Health.stop eng;
+      Sim.run_until sim (Time.ms 300);
+      check_int "stopped engine never evaluates" 5 (Health.evals eng))
+
+(* ------------------------------------------------------------------ *)
+(* Responders act: a firing incident tightens the budget envelope.      *)
+
+let test_tighten_responder () =
+  Tm.with_fresh_store (fun () ->
+      let sys = System.create ~cores:1 () in
+      let a = System.new_app sys ~name:"a" in
+      ignore
+        (W.spawn sys ~app:a ~name:"spin"
+           (W.forever (fun () -> [ W.Compute (Time.ms 2) ])));
+      System.start sys;
+      let ctl = Budget.create sys () in
+      Budget.set_cap ctl ~app:a.System.app_id ~watts:2.0;
+      System.run_for sys (Time.ms 100);
+      let cap0 = Budget.effective_cap_w ctl ~app:a.System.app_id in
+      let eng = Health.create (System.sim sys) () in
+      let trip = ref false in
+      Health.add_rule eng
+        (Health.threshold ~name:"over"
+           (Health.Probe ("p", fun () -> Some (if !trip then 5.0 else 0.0)))
+           1.0);
+      Health.on_firing eng ~rule:"over"
+        (Health.Responder.tighten_budget ctl ~app:a.System.app_id);
+      trip := true;
+      System.run_for sys (Time.ms 100);
+      let cap1 = Budget.effective_cap_w ctl ~app:a.System.app_id in
+      check_bool
+        (Printf.sprintf "cap ratcheted once (%.3f -> %.3f)" cap0 cap1)
+        true
+        (Float.abs (cap1 -. (0.9 *. cap0)) < 1e-9);
+      check_int "hysteresis: fired once, acted once" 1 (fired_count eng "over");
+      Health.stop eng;
+      Budget.stop ctl;
+      System.shutdown sys)
+
+let test_budget_tighten_direct () =
+  Tm.with_fresh_store (fun () ->
+      let sys = System.create ~cores:1 () in
+      let a = System.new_app sys ~name:"a" in
+      System.start sys;
+      let ctl = Budget.create sys () in
+      Budget.set_cap ctl ~app:a.System.app_id ~watts:2.0;
+      Budget.tighten ctl ~app:a.System.app_id;
+      Budget.tighten ctl ~app:a.System.app_id;
+      System.run_for sys (Time.ms 60);
+      let cap = Budget.effective_cap_w ctl ~app:a.System.app_id in
+      check_bool
+        (Printf.sprintf "two steps of 0.9 (%.3f)" cap)
+        true
+        (Float.abs (cap -. (2.0 *. 0.81)) < 1e-9);
+      check_bool "bad factor rejected" true
+        (try
+           Budget.tighten ~factor:1.5 ctl ~app:a.System.app_id;
+           false
+         with Invalid_argument _ -> true);
+      Budget.stop ctl;
+      System.shutdown sys)
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing estimation, end to end: inject drift, the incident fires
+   once per rail, the responder hot-swaps a refit, post-swap MAPE is back
+   under the drift threshold.                                           *)
+
+let test_self_heal_recovers () =
+  let report, eng =
+    Health.Self_heal.run ~windows:60 ~perturb_pct:12.0 ()
+  in
+  check_int "one fired incident per rail" 3
+    report.Health.Self_heal.sh_incidents_fired;
+  check_int "every rail hot-swapped" 3 report.Health.Self_heal.sh_swaps;
+  check_bool
+    (Printf.sprintf "post-swap MAPE %.2f%% < 5%%"
+       report.Health.Self_heal.sh_post_max_mape_pct)
+    true
+    (report.Health.Self_heal.sh_post_max_mape_pct < 5.0);
+  List.iter
+    (fun rh ->
+      check_bool (rh.Health.Self_heal.rh_rail ^ " drifted before") true
+        (rh.Health.Self_heal.rh_pre_mape_pct > 5.0);
+      check_bool (rh.Health.Self_heal.rh_rail ^ " healed after") true
+        (rh.Health.Self_heal.rh_post_mape_pct
+        < rh.Health.Self_heal.rh_pre_mape_pct))
+    report.Health.Self_heal.sh_rails;
+  check_int "drift incidents in the log" 3 (fired_count eng "model.drift")
+
+let test_self_heal_clean_run_silent () =
+  let report, eng = Health.Self_heal.run ~windows:40 () in
+  check_int "no incidents without drift" 0
+    report.Health.Self_heal.sh_incidents_fired;
+  check_int "no swaps" 0 report.Health.Self_heal.sh_swaps;
+  check_int "empty log" 0 (List.length (Health.incidents eng))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet rollup: with health on, the per-device incident logs reduce into
+   fleet incident rates, byte-identically across job counts.            *)
+
+let test_fleet_incident_rollup_jobs_invariant () =
+  let s1 = Fleet.run ~jobs:1 ~health:true ~scenario:"budget" ~devices:12 ~seed:7 () in
+  let s4 = Fleet.run ~jobs:4 ~health:true ~scenario:"budget" ~devices:12 ~seed:7 () in
+  Alcotest.(check string)
+    "fleet JSON byte-identical across jobs" (Fleet.json_string s1)
+    (Fleet.json_string s4);
+  check_bool "cap-violation incidents surfaced" true
+    (List.mem_assoc "cap.violation" s1.Fleet.s_incident_rates)
+
+let test_fleet_health_off_unchanged () =
+  let plain = Fleet.run ~jobs:1 ~scenario:"budget" ~devices:6 ~seed:7 () in
+  check_bool "no incident rates without health" true
+    (plain.Fleet.s_incident_rates = [])
+
+(* ------------------------------------------------------------------ *)
+(* Default pack shape and incident-log JSON stability.                  *)
+
+let test_default_pack_rules () =
+  Tm.with_fresh_store (fun () ->
+      let sys = System.create ~cores:1 () in
+      let rules = Health.default_pack sys in
+      let names = List.map Health.rule_name rules in
+      check_bool "drift rule per rail" true (List.mem "model.drift" names);
+      check_bool "cap burn rule" true (List.mem "cap.violation" names);
+      check_bool "dead-metric rule" true (List.mem "telemetry.dead" names);
+      System.shutdown sys)
+
+let test_json_deterministic () =
+  let mk () =
+    drive_threshold ~limit:10.0 [ 12.0; 12.0; 1.0; 15.0; 1.0 ]
+  in
+  let j1 = Health.json (mk ()) and j2 = Health.json (mk ()) in
+  Alcotest.(check string) "same drive, same bytes" j1 j2;
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "fired counts present" true (contains j1 "\"fired\"");
+  check_bool "incident rows present" true (contains j1 "\"rule\": \"t\"")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_hysteresis_once_per_excursion;
+    QCheck_alcotest.to_alcotest prop_burn_monotone_in_violation_rate;
+    Alcotest.test_case "for-windows gate" `Quick test_for_windows_gate;
+    Alcotest.test_case "missing signal holds state" `Quick
+      test_missing_signal_holds_state;
+    Alcotest.test_case "absence staleness" `Quick test_absence_staleness;
+    Alcotest.test_case "absence of unregistered metric" `Quick
+      test_absence_never_registered;
+    Alcotest.test_case "slo burn lifecycle" `Quick test_slo_burn_lifecycle;
+    Alcotest.test_case "burn-rate zero guard" `Quick test_burn_rate_zero_guard;
+    Alcotest.test_case "rate-of-change on the grid" `Quick
+      test_rate_of_change_on_grid;
+    Alcotest.test_case "demand-armed grid" `Quick test_demand_armed_grid;
+    Alcotest.test_case "tighten responder" `Quick test_tighten_responder;
+    Alcotest.test_case "budget tighten direct" `Quick
+      test_budget_tighten_direct;
+    Alcotest.test_case "self-heal recovers from drift" `Slow
+      test_self_heal_recovers;
+    Alcotest.test_case "self-heal silent on clean run" `Quick
+      test_self_heal_clean_run_silent;
+    Alcotest.test_case "fleet incident rollup jobs-invariant" `Slow
+      test_fleet_incident_rollup_jobs_invariant;
+    Alcotest.test_case "fleet without health unchanged" `Quick
+      test_fleet_health_off_unchanged;
+    Alcotest.test_case "default pack rules" `Quick test_default_pack_rules;
+    Alcotest.test_case "incident-log JSON deterministic" `Quick
+      test_json_deterministic;
+  ]

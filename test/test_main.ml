@@ -23,4 +23,5 @@ let () =
       ("audit", Test_audit.suite);
       ("fleet", Test_fleet.suite);
       ("model", Test_model.suite);
+      ("health", Test_health.suite);
     ]
