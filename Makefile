@@ -39,12 +39,16 @@ audit-smoke:
 
 # Run every experiment under both event-queue backends and require the
 # outputs to be byte-identical: the timing wheel must realise the exact
-# (time, seq) total order of the reference binary heap.
+# (time, seq) total order of the reference binary heap. A third leg turns
+# event-slot pooling off (a fresh record per event) and requires the same
+# bytes again: handle recycling must be invisible in the output.
 sched-smoke:
 	dune exec bin/psbox_sim.exe -- all --sched heap > _build/sched-heap.txt
 	dune exec bin/psbox_sim.exe -- all --sched wheel > _build/sched-wheel.txt
 	cmp _build/sched-heap.txt _build/sched-wheel.txt
-	@echo "sched-smoke: heap and wheel outputs byte-identical"
+	dune exec bin/psbox_sim.exe -- all --pool off > _build/sched-nopool.txt
+	cmp _build/sched-wheel.txt _build/sched-nopool.txt
+	@echo "sched-smoke: heap/wheel/no-pool outputs byte-identical"
 
 # Run a small fleet sequentially and sharded over 4 domains, and require
 # the two JSON reports to be byte-identical: the work-stealing pool and

@@ -51,6 +51,17 @@ let parse_line line = parse_kv line ~key:"ns_per_run"
    run — a shift flags an architecture change, not a perf regression) *)
 let parse_eps_line line = parse_kv line ~key:"events_per_sec"
 
+(* allocations rows: minor words allocated per simulated event — gated
+   like ns_per_run, because GC pressure is a regression dimension of its
+   own (an allocation creep shows up as tail latency long before it moves
+   the mean). Benches that fire no events carry 0 and stay 0. *)
+let parse_alloc_line line = parse_kv line ~key:"minor_words_per_event"
+
+(* below this absolute growth (minor words per event) a percentage is GC
+   accounting jitter, not a regression — e.g. 0.1 -> 0.2 w/event is +100%
+   but meaningless *)
+let alloc_floor_words = 1.0
+
 (* audit.* rows of the event_counts section: attributed joules, compared
    informationally (energy shifts are workload changes, not perf
    regressions, so they never fail the diff) *)
@@ -137,6 +148,35 @@ let () =
           if not (List.mem_assoc name cur) then
             Printf.printf "  GONE   %s\n" name)
         base;
+      (let alloc_base = load_with parse_alloc_line older
+       and alloc_cur = load_with parse_alloc_line newer in
+       if alloc_cur <> [] then begin
+         Printf.printf "allocation per simulated event (gated):\n";
+         List.iter
+           (fun (name, w) ->
+             match List.assoc_opt name alloc_base with
+             | None ->
+                 Printf.printf "  NEW    %-52s %12.2f w/ev\n" name w
+             | Some w0 ->
+                 incr compared;
+                 let pct =
+                   if w0 > 0.0 then (w -. w0) /. w0 *. 100.0
+                   else if w > 0.0 then 100.0
+                   else 0.0
+                 in
+                 let tag =
+                   if pct > threshold_pct && w -. w0 > alloc_floor_words
+                   then begin
+                     regressions := (name ^ " [alloc]", pct) :: !regressions;
+                     "REGRESS"
+                   end
+                   else if pct < -.threshold_pct then "IMPROVE"
+                   else "ok"
+                 in
+                 Printf.printf "  %-8s%-52s %12.2f w/ev  %+6.1f%%\n" tag name
+                   w pct)
+           alloc_cur
+       end);
       (let eps_base = load_with parse_eps_line older
        and eps_cur = load_with parse_eps_line newer in
        if eps_cur <> [] then begin

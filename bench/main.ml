@@ -231,18 +231,48 @@ let tests =
 
 (* The tick-storm win as a first-class number: simulator events fired per
    wall second while each benchmark runs. Measured over one run outside
-   Bechamel (the global fired counter would count its warmup runs too). *)
-let events_per_sec () =
+   Bechamel (the global fired counter would count its warmup runs too).
+
+   The same measured run yields the GC dimension: minor words allocated,
+   words promoted to the major heap and major collections, plus minor
+   words per simulated event — the regression-gated number (bench/diff.exe
+   fails on >20% growth). A [Gc.full_major] before each case keeps one
+   case's floating garbage from billing its major collections to the
+   next. *)
+type alloc = {
+  a_minor : float;
+  a_promoted : float;
+  a_majors : int;
+  a_per_event : float;
+}
+
+let events_and_allocs () =
   let fired = Telemetry.Metrics.counter "sim.events_fired" in
   List.map
     (fun (name, fn) ->
+      Gc.full_major ();
       let f0 = Telemetry.Metrics.counter_value fired in
+      let s0 = Gc.quick_stat () in
+      let m0 = Gc.minor_words () in
       let t0 = Unix.gettimeofday () in
       fn ();
       let dt = Unix.gettimeofday () -. t0 in
+      let m1 = Gc.minor_words () in
+      let s1 = Gc.quick_stat () in
       let df = Telemetry.Metrics.counter_value fired -. f0 in
-      ("psbox/" ^ name, if dt > 0.0 then df /. dt else 0.0))
+      let minor = m1 -. m0 in
+      let alloc =
+        {
+          a_minor = minor;
+          a_promoted = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+          a_majors = s1.Gc.major_collections - s0.Gc.major_collections;
+          a_per_event = (if df > 0.0 then minor /. df else 0.0);
+        }
+      in
+      ( ("psbox/" ^ name, if dt > 0.0 then df /. dt else 0.0),
+        ("psbox/" ^ name, alloc) ))
     bench_cases
+  |> List.split
 
 (* Fleet throughput at the recommended domain count: devices simulated per
    wall second, the number sharding exists to raise. Rides along in the
@@ -272,27 +302,40 @@ let microbench () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  (* Three full passes, keeping each benchmark's minimum estimate: on a
+     shared box, scheduling noise and frequency drift are strictly
+     additive, so run-to-run estimates swing by 20%+ and the minimum is
+     the honest location estimate. One pass would make the bench-diff
+     wall-time gate fire on quiet-day vs busy-day snapshots. *)
+  let passes = 3 in
+  let best = Hashtbl.create 32 in
+  for _ = 1 to passes do
+    let raw = Benchmark.all cfg instances tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name v ->
+        match Analyze.OLS.estimates v with
+        | Some [ ns ] -> (
+            match Hashtbl.find_opt best name with
+            | Some ns0 when ns0 <= ns -> ()
+            | _ -> Hashtbl.replace best name ns)
+        | _ -> ())
+      results
+  done;
+  let rows = Hashtbl.fold (fun name ns acc -> (name, ns) :: acc) best [] in
   let rows = List.sort compare rows in
-  List.filter_map
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ ns ] ->
-          let pretty =
-            if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.0f ns" ns
-          in
-          Printf.printf "  %-52s %s/run\n%!" name pretty;
-          Some (name, ns)
-      | _ ->
-          Printf.printf "  %-52s (no estimate)\n%!" name;
-          None)
+  List.map
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-52s %s/run (min of %d)\n%!" name pretty passes;
+      (name, ns))
     rows
 
 (* Machine-readable results, so perf regressions are diffable across
@@ -308,7 +351,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json rows eps =
+let write_json rows eps allocs =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
@@ -333,6 +376,20 @@ let write_json rows eps =
         (json_escape name) v
         (if i = List.length eps - 1 then "" else ","))
     eps;
+  (* GC pressure per benchmark, from the same measured run as the
+     events_per_sec rows. "minor_words_per_event" sits directly after the
+     name so bench/diff.ml's adjacent-key parser picks it up — it is the
+     gated number; the raw words/collections ride along for forensics. *)
+  output_string oc "  ],\n  \"allocations\": [\n";
+  List.iteri
+    (fun i (name, a) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"minor_words_per_event\": %.3f, \
+         \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+         \"major_collections\": %d }%s\n"
+        (json_escape name) a.a_per_event a.a_minor a.a_promoted a.a_majors
+        (if i = List.length allocs - 1 then "" else ","))
+    allocs;
   (* Per-subsystem telemetry accumulated over the whole bench run: how many
      events each kernel path handled while producing the numbers above. The
      key is "count", not "ns_per_run", so bench/diff.ml skips these rows. *)
@@ -370,10 +427,13 @@ let () =
       | "--json" | "--micro-only" -> ()
       | "--sched=heap" -> Psbox_engine.Sim.set_default_backend `Heap
       | "--sched=wheel" -> Psbox_engine.Sim.set_default_backend `Wheel
+      | "--pool=on" -> Psbox_engine.Sim.set_default_pooling true
+      | "--pool=off" -> Psbox_engine.Sim.set_default_pooling false
       | a when a = Sys.argv.(0) -> ()
       | a ->
           Printf.eprintf
-            "unknown flag %s (known: --json --micro-only --sched=heap|wheel)\n"
+            "unknown flag %s (known: --json --micro-only --sched=heap|wheel \
+             --pool=on|off)\n"
             a;
           exit 2)
     argv;
@@ -383,9 +443,17 @@ let () =
   Audit.enable ();
   if not micro_only then regenerate ();
   let rows = microbench () in
-  let eps = events_per_sec () @ [ fleet_throughput () ] in
+  let eps, allocs = events_and_allocs () in
+  let eps = eps @ [ fleet_throughput () ] in
   print_endline "  simulated-event throughput (one run each):";
   List.iter
     (fun (name, v) -> Printf.printf "  %-52s %12.0f events/s\n" name v)
     eps;
-  if json then write_json rows eps
+  print_endline "  GC pressure (same run):";
+  List.iter
+    (fun (name, a) ->
+      Printf.printf
+        "  %-52s %10.0f minor w  %8.0f promoted  %3d majors  %8.2f w/event\n"
+        name a.a_minor a.a_promoted a.a_majors a.a_per_event)
+    allocs;
+  if json then write_json rows eps allocs

@@ -3,8 +3,10 @@
    A/B/A/B so machine drift hits both sides. Reports the delta of the
    per-side minima — on a noisy box single-shot bechamel comparisons can
    swing by more than the instrumentation costs, and this isolates the
-   cost directly. Probes two layers the same way: the telemetry metrics
-   registry and the joule-audit attribution ledger. *)
+   cost directly. Probes three layers the same way: the telemetry metrics
+   registry, the joule-audit attribution ledger, and the event-slot pool
+   (pooling off = a fresh record per event, the pre-pool allocation
+   behavior — so this delta is the measured win of slot recycling). *)
 module System = Psbox_kernel.System
 module Audit = Psbox_audit.Audit
 module W = Psbox_workloads.Workload
@@ -55,4 +57,7 @@ let () =
      phases so thousands of probe machines don't accumulate *)
   probe ~label:"audit" ~n ~set:(fun b ->
       if b then Audit.enable () else Audit.disable ();
-      Audit.reset ())
+      Audit.reset ());
+  (* inverted sense: "overhead" here is the cost of NOT pooling *)
+  probe ~label:"no-pool" ~n ~set:(fun b ->
+      Psbox_engine.Sim.set_default_pooling (not b))

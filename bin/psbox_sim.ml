@@ -96,6 +96,31 @@ let sched_arg =
     & opt (enum backends) (Psbox_engine.Sim.default_backend ())
     & info [ "sched" ] ~docv:"SCHED" ~doc)
 
+let pool_arg =
+  let modes = [ ("on", true); ("off", false) ] in
+  let doc =
+    "Event-slot pooling: $(b,on) (the default; events recycle \
+     generation-stamped slot records through a free list, so the steady \
+     state event loop does not allocate) or $(b,off) (a fresh record per \
+     event — the pre-pool baseline for A/B allocation measurements). \
+     Output is byte-identical either way (verified by the pool leg of \
+     $(b,make sched-smoke))."
+  in
+  Arg.(
+    value
+    & opt (enum modes) (Psbox_engine.Sim.default_pooling ())
+    & info [ "pool" ] ~docv:"on|off" ~doc)
+
+(* Evaluated before any command body runs (cmdliner applies term arguments
+   left to right), so wrapping a command term in [with_pool] gives it the
+   --pool flag without threading one more parameter through its run
+   function. *)
+let with_pool t =
+  Term.(
+    const (fun () r -> r)
+    $ (const Psbox_engine.Sim.set_default_pooling $ pool_arg)
+    $ t)
+
 let seed_arg =
   let doc =
     "Override every selected experiment's built-in seed with $(docv). Each \
@@ -215,10 +240,11 @@ let run_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment id")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(
-      const run_ids $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
-      $ ids)
+    (with_pool
+       Term.(
+         const run_ids $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+         $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
+         $ ids))
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
@@ -229,9 +255,10 @@ let all_cmd =
       (List.map (fun e -> e.Registry.e_id) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(
-      const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg)
+    (with_pool
+       Term.(
+         const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+         $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg))
 
 let fleet_cmd =
   let doc =
@@ -331,9 +358,10 @@ let fleet_cmd =
   in
   Cmd.v
     (Cmd.info "fleet" ~doc ~man)
-    Term.(
-      const run $ sched_arg $ devices_arg $ jobs_arg $ fleet_seed_arg
-      $ scenario_arg $ fleet_out_arg $ health_arg)
+    (with_pool
+       Term.(
+         const run $ sched_arg $ devices_arg $ jobs_arg $ fleet_seed_arg
+         $ scenario_arg $ fleet_out_arg $ health_arg))
 
 let trace_check_cmd =
   let doc =
@@ -598,9 +626,10 @@ let model_check_cmd =
   in
   Cmd.v
     (Cmd.info "model-check" ~doc ~man)
-    Term.(
-      const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows $ perturb
-      $ max_mape $ expect_drift $ model_out $ self_heal)
+    (with_pool
+       Term.(
+         const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows
+         $ perturb $ max_mape $ expect_drift $ model_out $ self_heal))
 
 let health_check_cmd =
   let doc =
@@ -728,9 +757,11 @@ let health_check_cmd =
   in
   Cmd.v
     (Cmd.info "health-check" ~doc ~man)
-    Term.(
-      const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows $ perturb
-      $ drift_threshold $ max_mape $ expect_heal $ health_out $ report_out)
+    (with_pool
+       Term.(
+         const run $ sched_arg $ seed_a $ seed_b $ window_ms $ windows
+         $ perturb $ drift_threshold $ max_mape $ expect_heal $ health_out
+         $ report_out))
 
 (* Default command: bare experiment ids work without the `run` subcommand
    (`psbox_sim --trace-out t.json budget`). *)
@@ -747,9 +778,10 @@ let default_term =
   in
   Term.(
     ret
-      (const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
-     $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
-     $ ids))
+      (with_pool
+         (const run $ sched_arg $ seed_arg $ trace_out_arg $ metrics_arg
+        $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ health_out_arg
+        $ ids)))
 
 let () =
   let doc = "psbox reproduction: the paper's experiments on the simulator" in

@@ -17,7 +17,7 @@ let m_ticks = Tm.counter "budget.ticks"
 let m_violations = Tm.counter "budget.cap_violations"
 
 (* pre-resolved: control ticks are one-shot events, re-armed on demand *)
-let m_tick_events = Tm.counter "sim.events.budget.tick"
+let l_tick = Sim.label "budget.tick" (* counts under sim.events.budget.tick *)
 
 type demand =
   | Cap of float
@@ -58,7 +58,7 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   splitters : Split.live list; (* one per actuated rail, auto-wired *)
   epoch : Time.t; (* anchor of the control-period grid (creation time) *)
-  mutable tick : Sim.handle option; (* armed control tick; None while idle *)
+  mutable tick : Sim.handle; (* armed control tick; Sim.none while idle *)
   mutable stopped : bool;
   (* admission *)
   mutable machine_budget_w : float option;
@@ -234,22 +234,17 @@ let tick_needed ctl =
      Psbox_hw.Dvfs.ceiling d < Psbox_hw.Dvfs.max_index d
 
 let rec arm_tick ctl =
-  match ctl.tick with
-  | Some _ -> ()
-  | None ->
-      if (not ctl.stopped) && tick_needed ctl then begin
-        let k = ((now ctl - ctl.epoch) / ctl.period) + 1 in
-        ctl.tick <-
-          Some
-            (Sim.schedule_at (sim ctl)
-               (ctl.epoch + (k * ctl.period))
-               (fun () -> tick_fired ctl))
-      end
+  if Sim.is_none ctl.tick && (not ctl.stopped) && tick_needed ctl then begin
+    let k = ((now ctl - ctl.epoch) / ctl.period) + 1 in
+    ctl.tick <-
+      Sim.schedule_at (sim ctl) ~label:l_tick
+        (ctl.epoch + (k * ctl.period))
+        (fun () -> tick_fired ctl)
+  end
 
 and tick_fired ctl =
-  ctl.tick <- None;
+  ctl.tick <- Sim.none;
   if not ctl.stopped then begin
-    Tm.incr m_tick_events;
     Tm.incr m_ticks;
     Hashtbl.iter (fun _ e -> control_entry ctl e) ctl.entries;
     bias_dvfs ctl;
@@ -257,11 +252,8 @@ and tick_fired ctl =
   end
 
 let cancel_tick ctl =
-  match ctl.tick with
-  | Some h ->
-      Sim.cancel h;
-      ctl.tick <- None
-  | None -> ()
+  Sim.cancel (sim ctl) ctl.tick;
+  ctl.tick <- Sim.none
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -292,7 +284,7 @@ let create sys ?(period = Time.ms 50) ?(window_periods = 4)
       entries = Hashtbl.create 8;
       splitters;
       epoch = from;
-      tick = None;
+      tick = Sim.none;
       stopped = false;
       machine_budget_w;
       reserved = Hashtbl.create 8;

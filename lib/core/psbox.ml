@@ -351,11 +351,9 @@ let masked_energy_j binding ~from ~until =
   let balloon_j =
     List.fold_left
       (fun acc (t0, t1) ->
-        let parts =
-          Timeline.map_intervals tl ~from:t0 ~until:t1 ~f:(fun s e v ->
-              Float.max v floor_w *. Time.to_sec_f (e - s))
-        in
-        acc +. List.fold_left ( +. ) 0.0 parts)
+        Timeline.fold_intervals tl ~from:t0 ~until:t1 ~init:acc
+          ~f:(fun acc s e v ->
+            acc +. (Float.max v floor_w *. Time.to_sec_f (e - s))))
       0.0 intervals
   in
   (* walk the gaps between balloons with the virtual idle model *)

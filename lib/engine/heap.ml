@@ -52,13 +52,19 @@ let push h x =
 
 let peek h = if h.len = 0 then None else Some h.data.(0)
 
+(* Allocation-free hot-loop primitives: callers must check [size] first. *)
+let top h = h.data.(0)
+
+let drop h =
+  h.len <- h.len - 1;
+  h.data.(0) <- h.data.(h.len);
+  if h.len > 0 then sift_down h 0
+
 let pop h =
   if h.len = 0 then None
   else begin
     let min = h.data.(0) in
-    h.len <- h.len - 1;
-    h.data.(0) <- h.data.(h.len);
-    if h.len > 0 then sift_down h 0;
+    drop h;
     Some min
   end
 

@@ -20,6 +20,14 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element. *)
 
+val top : 'a t -> 'a
+(** Allocation-free {!peek}: the minimum element. Undefined (may raise or
+    return garbage) on an empty heap — callers must check {!size} first. *)
+
+val drop : 'a t -> unit
+(** Allocation-free {!pop} that discards the minimum element. Must only be
+    called on a non-empty heap. *)
+
 val clear : 'a t -> unit
 
 val filter_in_place : 'a t -> keep:('a -> bool) -> unit

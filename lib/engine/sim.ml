@@ -15,12 +15,65 @@ type state = Pending | Fired | Cancelled
 
 type backend = [ `Heap | `Wheel ]
 
-type handle = {
-  time : Time.t;
-  seq : int;
-  fn : unit -> unit;
-  mutable state : state;
-  owner : t;
+type handle = int
+(* (generation lsl idx_bits) lor idx, or [none] *)
+
+(* ------------------------------------------------------------------ *)
+(* Interned event labels                                                *)
+
+(* A label is an index into a process-global table of pre-resolved
+   [sim.events.<name>] counters. Interning happens once (under a mutex, so
+   any domain may register); the fire path is then a branch plus an array
+   load plus a counter bump — no string, closure, or hashtable traffic per
+   event. The counter array is copy-on-grow behind an [Atomic], so readers
+   never lock. *)
+type label = int
+
+let no_label = -1
+let label_mu = Mutex.create ()
+let label_ids : (string, int) Hashtbl.t = Hashtbl.create 16
+let label_cells : Tm.counter array Atomic.t = Atomic.make [||]
+let label_names : string array Atomic.t = Atomic.make [||]
+
+let label name =
+  Mutex.protect label_mu (fun () ->
+      match Hashtbl.find_opt label_ids name with
+      | Some id -> id
+      | None ->
+          let cells = Atomic.get label_cells in
+          let id = Array.length cells in
+          let c = Tm.counter ("sim.events." ^ name) in
+          Atomic.set label_cells (Array.append cells [| c |]);
+          Atomic.set label_names
+            (Array.append (Atomic.get label_names) [| name |]);
+          Hashtbl.add label_ids name id;
+          id)
+
+let label_name l = (Atomic.get label_names).(l)
+let count_label l = Tm.incr (Atomic.get label_cells).(l)
+
+(* ------------------------------------------------------------------ *)
+(* Pooled event slots                                                   *)
+
+(* A scheduled event lives in a [slot] record owned by the simulator's
+   pool; the queue backends store slot pointers. The public [handle] is an
+   immediate int packing (generation, pool index): when a slot physically
+   leaves the queue (fire, head-discard, bulk reap) it is released — its
+   generation bumps and its index returns to the free stack — so a stale
+   handle to a recycled slot no longer matches and [cancel]/[cancelled]
+   on it are no-ops. With pooling on (the default) the released record
+   itself is reused by the next [schedule_at], making the steady-state
+   schedule/fire cycle allocation-free; with pooling off only the index is
+   reused and every event gets a fresh record (the pre-pool behavior, kept
+   as an A/B baseline for the qcheck equivalence property and
+   bench/probe.exe). *)
+type slot = {
+  mutable s_time : Time.t;
+  mutable s_seq : int;
+  mutable s_fn : unit -> unit;
+  mutable s_state : state;
+  mutable s_label : label;
+  s_idx : int;
 }
 
 (* Two interchangeable queue implementations behind one total order: the
@@ -28,53 +81,147 @@ type handle = {
    hierarchical timing wheel (O(1) insert, cursor-advance pops). Both yield
    the exact (time, seq) order, so a run's output is byte-identical under
    either — enforced by `make sched-smoke` and bench/diff.exe. *)
-and queue = QHeap of handle Heap.t | QWheel of handle Wheel.t
+and queue = QHeap of slot Heap.t | QWheel of slot Wheel.t
 
 and t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   q : queue;
-  mutable dead : int; (* cancelled handles still buried in the queue *)
+  mutable dead : int; (* cancelled slots still buried in the queue *)
+  pool : bool; (* recycle slot records (not just indices)? *)
+  mutable slots : slot array; (* idx -> live record (dummy if pool off) *)
+  mutable gens : int array; (* idx -> current generation *)
+  mutable free : int array; (* free-index stack, [0 .. n_free-1] live *)
+  mutable n_free : int;
+  mutable hi : int; (* indices [0 .. hi-1] have been handed out *)
+  mutable fired_n : int; (* int fired count (trace decimation) *)
+  mutable depth_max : int;
+  mutable gauges_dirty : bool; (* queue-depth gauges need a flush *)
 }
 
-let compare_handle a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+let noop () = ()
+
+let dummy_slot =
+  { s_time = 0; s_seq = 0; s_fn = noop; s_state = Fired; s_label = no_label;
+    s_idx = -1 }
+
+let compare_slot a b =
+  let c = compare a.s_time b.s_time in
+  if c <> 0 then c else compare a.s_seq b.s_seq
+
+(* Handles pack (generation lsl idx_bits) lor idx. 20 index bits bound the
+   pool at ~1M simultaneously-live events; generations take the rest of
+   the word (a given index must be recycled 2^42 times to wrap). *)
+let idx_bits = 20
+let idx_mask = (1 lsl idx_bits) - 1
+let none = -1
+let is_none h = h < 0
 
 (* The default backend is domain-local: a worker domain (fleet shard)
    choosing its backend never races with, or leaks into, any other domain.
    Fresh domains start on the wheel; a CLI --sched choice must be re-applied
-   inside each spawned domain (the fleet pool does). *)
+   inside each spawned domain (the fleet pool does). Pooling follows the
+   same pattern for the --pool A/B toggle. *)
 let default_key = Domain.DLS.new_key (fun () -> (`Wheel : backend))
 let set_default_backend b = Domain.DLS.set default_key b
 let default_backend () = Domain.DLS.get default_key
+let pooling_key = Domain.DLS.new_key (fun () -> true)
+let set_default_pooling b = Domain.DLS.set pooling_key b
+let default_pooling () = Domain.DLS.get pooling_key
 
-let create ?backend () =
+(* Retired simulators waiting for reuse (scratch-buffer recycling across
+   fleet devices): domain-local, so shards never share one. *)
+let retired_key = Domain.DLS.new_key (fun () -> ([] : t list))
+let max_retired = 4
+
+let make ~backend ~pool =
+  let q =
+    match backend with
+    | `Heap -> QHeap (Heap.create ~cmp:compare_slot)
+    | `Wheel ->
+        QWheel
+          (Wheel.create ~dummy:dummy_slot ~cmp:compare_slot
+             ~time:(fun s -> s.s_time) ())
+  in
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    q;
+    dead = 0;
+    pool;
+    slots = [||];
+    gens = [||];
+    free = [||];
+    n_free = 0;
+    hi = 0;
+    fired_n = 0;
+    depth_max = 0;
+    gauges_dirty = false;
+  }
+
+let backend sim = match sim.q with QHeap _ -> `Heap | QWheel _ -> `Wheel
+let pooling sim = sim.pool
+
+let create ?backend ?pooling () =
   let backend =
     match backend with Some b -> b | None -> default_backend ()
   in
-  let q =
-    match backend with
-    | `Heap -> QHeap (Heap.create ~cmp:compare_handle)
-    | `Wheel ->
-        QWheel
-          (Wheel.create ~cmp:compare_handle ~time:(fun h -> h.time) ())
+  let pool =
+    match pooling with Some p -> p | None -> default_pooling ()
   in
-  { clock = Time.zero; next_seq = 0; q; dead = 0 }
+  let retired = Domain.DLS.get retired_key in
+  let rec take acc = function
+    | [] -> make ~backend ~pool
+    | sim :: rest ->
+        if
+          sim.pool = pool
+          && (match sim.q with QHeap _ -> `Heap | QWheel _ -> `Wheel)
+             = backend
+        then begin
+          Domain.DLS.set retired_key (List.rev_append acc rest);
+          sim
+        end
+        else take (sim :: acc) rest
+  in
+  take [] retired
 
-let backend sim = match sim.q with QHeap _ -> `Heap | QWheel _ -> `Wheel
+(* Invalidate every outstanding handle, empty the queue, rewind the clock,
+   and hand the carcass (queue storage, slot pool, free stack) to the next
+   [create] on this domain. Fleet shards retire each device's simulator so
+   the per-device warm-up allocations happen once per worker, not once per
+   device. *)
+let retire sim =
+  (match sim.q with QHeap q -> Heap.clear q | QWheel w -> Wheel.clear w);
+  for i = 0 to sim.hi - 1 do
+    sim.gens.(i) <- sim.gens.(i) + 1;
+    (if sim.pool then
+       let s = sim.slots.(i) in
+       s.s_fn <- noop (* drop closures so retired pools pin no user state *)
+     else sim.slots.(i) <- dummy_slot);
+    sim.free.(i) <- sim.hi - 1 - i
+  done;
+  sim.n_free <- sim.hi;
+  sim.clock <- Time.zero;
+  sim.next_seq <- 0;
+  sim.dead <- 0;
+  sim.fired_n <- 0;
+  sim.depth_max <- 0;
+  sim.gauges_dirty <- false;
+  let retired = Domain.DLS.get retired_key in
+  if List.length retired < max_retired then
+    Domain.DLS.set retired_key (sim :: retired)
 
-let q_push sim h =
-  match sim.q with QHeap q -> Heap.push q h | QWheel w -> Wheel.push w h
-
-let q_pop sim =
-  match sim.q with QHeap q -> Heap.pop q | QWheel w -> Wheel.pop w
-
-let q_peek sim =
-  match sim.q with QHeap q -> Heap.peek q | QWheel w -> Wheel.peek w
+let q_push sim s =
+  match sim.q with QHeap q -> Heap.push q s | QWheel w -> Wheel.push w s
 
 let q_size sim =
   match sim.q with QHeap q -> Heap.size q | QWheel w -> Wheel.size w
+
+let q_top sim =
+  match sim.q with QHeap q -> Heap.top q | QWheel w -> Wheel.top w
+
+let q_drop sim =
+  match sim.q with QHeap q -> Heap.drop q | QWheel w -> Wheel.drop w
 
 let q_filter sim ~keep =
   match sim.q with
@@ -83,29 +230,96 @@ let q_filter sim ~keep =
 
 let now sim = sim.clock
 
-(* [?label] tags the event with a per-source counter
-   ([sim.events.<label>], bumped when it fires). The counter is resolved
-   here, once per call — label hot one-shot events from a pre-resolved
-   subsystem counter instead. *)
-let schedule_at sim ?label time fn =
+(* -- pool plumbing -------------------------------------------------- *)
+
+let grow_pool sim =
+  if sim.hi > idx_mask then
+    failwith "Sim: more than 2^20 simultaneously-live events";
+  let cap = Array.length sim.slots in
+  if sim.hi >= cap then begin
+    let ncap = max 64 (2 * cap) in
+    let slots = Array.make ncap dummy_slot in
+    Array.blit sim.slots 0 slots 0 cap;
+    sim.slots <- slots;
+    let gens = Array.make ncap 0 in
+    Array.blit sim.gens 0 gens 0 cap;
+    sim.gens <- gens;
+    let free = Array.make ncap 0 in
+    Array.blit sim.free 0 free 0 sim.n_free;
+    sim.free <- free
+  end
+
+(* Take a slot for a new event. With pooling on, a recycled index reuses
+   its record in place (no allocation); a fresh index allocates its record
+   once, at pool high-water growth. With pooling off, every event gets a
+   fresh record. *)
+let alloc_slot sim =
+  if sim.n_free > 0 then begin
+    sim.n_free <- sim.n_free - 1;
+    let idx = sim.free.(sim.n_free) in
+    if sim.pool then sim.slots.(idx)
+    else begin
+      let s =
+        { s_time = 0; s_seq = 0; s_fn = noop; s_state = Pending;
+          s_label = no_label; s_idx = idx }
+      in
+      sim.slots.(idx) <- s;
+      s
+    end
+  end
+  else begin
+    grow_pool sim;
+    let idx = sim.hi in
+    sim.hi <- idx + 1;
+    let s =
+      { s_time = 0; s_seq = 0; s_fn = noop; s_state = Pending;
+        s_label = no_label; s_idx = idx }
+    in
+    sim.slots.(idx) <- s;
+    s
+  end
+
+(* Called exactly once per event, when its slot physically leaves the
+   queue: on fire, on head tombstone discard, and on bulk reap. Bumps the
+   generation (staling every outstanding handle) and returns the index to
+   the free stack. *)
+let release sim s =
+  let idx = s.s_idx in
+  sim.gens.(idx) <- sim.gens.(idx) + 1;
+  s.s_fn <- noop;
+  if not sim.pool then sim.slots.(idx) <- dummy_slot;
+  sim.free.(sim.n_free) <- idx;
+  sim.n_free <- sim.n_free + 1
+
+let handle_of_slot sim s = (sim.gens.(s.s_idx) lsl idx_bits) lor s.s_idx
+
+(* The slot behind [h], or [dummy_slot] if the handle is stale ([Fired]
+   dummy state makes every stale query read as "already done"). *)
+let deref sim h =
+  if h < 0 then dummy_slot
+  else begin
+    let idx = h land idx_mask in
+    if idx < sim.hi && sim.gens.(idx) = h lsr idx_bits then sim.slots.(idx)
+    else dummy_slot
+  end
+
+(* -- scheduling ----------------------------------------------------- *)
+
+let schedule_at sim ?(label = no_label) time fn =
   if time < sim.clock then
     invalid_arg
       (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp time
          Time.pp sim.clock);
-  let fn =
-    match label with
-    | None -> fn
-    | Some l ->
-        let c = Tm.counter ("sim.events." ^ l) in
-        fun () ->
-          Tm.incr c;
-          fn ()
-  in
-  let h = { time; seq = sim.next_seq; fn; state = Pending; owner = sim } in
+  let s = alloc_slot sim in
+  s.s_time <- time;
+  s.s_seq <- sim.next_seq;
+  s.s_fn <- fn;
+  s.s_state <- Pending;
+  s.s_label <- label;
   sim.next_seq <- sim.next_seq + 1;
-  q_push sim h;
+  q_push sim s;
   Tm.incr m_scheduled;
-  h
+  handle_of_slot sim s
 
 let schedule_after sim ?label span fn =
   schedule_at sim ?label (sim.clock + span) fn
@@ -118,76 +332,105 @@ let maybe_reap sim =
   if sim.dead > 64 && sim.dead * 2 > q_size sim then begin
     Tm.incr m_reap_passes;
     Tm.add m_reaped (float_of_int sim.dead);
-    q_filter sim ~keep:(fun h -> h.state = Pending);
+    q_filter sim ~keep:(fun s ->
+        if s.s_state = Pending then true
+        else begin
+          release sim s;
+          false
+        end);
     sim.dead <- 0
   end
 
-let cancel h =
-  match h.state with
-  | Pending ->
-      h.state <- Cancelled;
-      Tm.incr m_cancelled;
-      h.owner.dead <- h.owner.dead + 1;
-      maybe_reap h.owner
-  | Fired | Cancelled -> ()
+let cancel sim h =
+  let s = deref sim h in
+  if s.s_state = Pending then begin
+    s.s_state <- Cancelled;
+    Tm.incr m_cancelled;
+    sim.dead <- sim.dead + 1;
+    maybe_reap sim
+  end
 
-let cancelled h = h.state = Cancelled
+let cancelled sim h = (deref sim h).s_state = Cancelled
 
-(* Advance past tombstones at the head of the queue. Every discarded
-   tombstone goes through the same reap accounting, so a run dominated by
-   either {!run} or {!run_until} still reaps in bulk. *)
-let rec peek_live sim =
-  match q_peek sim with
-  | Some h when h.state = Cancelled ->
-      ignore (q_pop sim);
-      sim.dead <- sim.dead - 1;
-      maybe_reap sim;
-      peek_live sim
-  | other -> other
+(* Advance past tombstones at the head of the queue, releasing each one.
+   Every discarded tombstone goes through the same reap accounting, so a
+   run dominated by either {!run} or {!run_until} still reaps in bulk.
+   Returns whether a live head event exists (allocation-free — no option). *)
+let rec has_live_top sim =
+  q_size sim > 0
+  &&
+  let s = q_top sim in
+  if s.s_state = Cancelled then begin
+    q_drop sim;
+    sim.dead <- sim.dead - 1;
+    release sim s;
+    maybe_reap sim;
+    has_live_top sim
+  end
+  else true
 
-let pop_live sim =
-  match peek_live sim with None -> None | Some _ -> q_pop sim
-
-(* Per-fire bookkeeping: the global fired counter, queue-depth gauges, and
+(* Per-fire bookkeeping: the global fired counter, a dirty flag batching
+   the queue-depth gauges (flushed on run exit and every 4096 fires), and
    (only while a trace is being recorded) a decimated queue-depth timeline
-   sample so huge runs stay exportable. *)
+   sample so huge runs stay exportable. The decimation check is a plain
+   int field — no counter read, no float round-trip. *)
+let flush_gauges sim =
+  if sim.gauges_dirty then begin
+    sim.gauges_dirty <- false;
+    Tm.set g_depth (float_of_int (q_size sim));
+    Tm.set_max g_depth_max (float_of_int sim.depth_max)
+  end
+
 let note_fired sim =
   Tm.incr m_fired;
-  let depth = float_of_int (q_size sim) in
-  Tm.set g_depth depth;
-  Tm.set_max g_depth_max depth;
-  if
-    Tt.recording ()
-    && int_of_float (Tm.counter_value m_fired) land 4095 = 0
-  then Tt.sample ~track:"engine.sim" ~name:"sim.queue_depth" sim.clock depth
+  sim.fired_n <- sim.fired_n + 1;
+  let depth = q_size sim in
+  if depth > sim.depth_max then sim.depth_max <- depth;
+  sim.gauges_dirty <- true;
+  if sim.fired_n land 4095 = 0 then begin
+    flush_gauges sim;
+    if Tt.recording () then
+      Tt.sample ~track:"engine.sim" ~name:"sim.queue_depth" sim.clock
+        (float_of_int depth)
+  end
+
+(* Fire the head event. The slot is released *before* the callback runs:
+   the queue no longer references it, every outstanding handle is already
+   stale (cancel-during-fire is a no-op by generation mismatch), and the
+   callback may immediately reuse the slot for what it schedules. The
+   fields the fire needs are read out first. *)
+let fire_top sim =
+  let s = q_top sim in
+  q_drop sim;
+  sim.clock <- s.s_time;
+  let fn = s.s_fn in
+  let lbl = s.s_label in
+  s.s_state <- Fired;
+  release sim s;
+  note_fired sim;
+  if lbl >= 0 then count_label lbl;
+  fn ()
 
 let run_until sim limit =
   let rec loop () =
-    match peek_live sim with
-    | Some h when h.time <= limit ->
-        ignore (q_pop sim);
-        h.state <- Fired;
-        sim.clock <- h.time;
-        note_fired sim;
-        h.fn ();
-        loop ()
-    | Some _ | None -> ()
+    if has_live_top sim && (q_top sim).s_time <= limit then begin
+      fire_top sim;
+      loop ()
+    end
   in
   loop ();
+  flush_gauges sim;
   if limit > sim.clock then sim.clock <- limit
 
 let run sim =
   let rec loop () =
-    match pop_live sim with
-    | Some h ->
-        h.state <- Fired;
-        sim.clock <- h.time;
-        note_fired sim;
-        h.fn ();
-        loop ()
-    | None -> ()
+    if has_live_top sim then begin
+      fire_top sim;
+      loop ()
+    end
   in
-  loop ()
+  loop ();
+  flush_gauges sim
 
 let pending sim = q_size sim - sim.dead
 let queue_length sim = q_size sim
@@ -195,36 +438,26 @@ let queue_length sim = q_size sim
 (* ------------------------------------------------------------------ *)
 (* Periodic events                                                      *)
 
-type periodic = { mutable current : handle option; mutable stopped : bool }
+type periodic = { p_sim : t; mutable current : handle; mutable stopped : bool }
 
 let schedule_every sim ?start ?label span fn =
   if span <= 0 then invalid_arg "Sim.schedule_every: period must be positive";
-  let fn =
-    match label with
-    | None -> fn
-    | Some l ->
-        (* resolved once for the whole recurrence *)
-        let c = Tm.counter ("sim.events." ^ l) in
-        fun () ->
-          Tm.incr c;
-          fn ()
-  in
-  let p = { current = None; stopped = false } in
+  let p = { p_sim = sim; current = none; stopped = false } in
   let rec fire () =
     if not p.stopped then begin
       (* re-arm before running the body, so events the body schedules for
          the same future instant fire after the next tick (FIFO order) *)
-      p.current <- Some (schedule_after sim span fire);
+      p.current <- schedule_after sim ?label span fire;
       fn ()
     end
   in
   let first = match start with Some t -> t | None -> sim.clock + span in
-  p.current <- Some (schedule_at sim first fire);
+  p.current <- schedule_at sim ?label first fire;
   p
 
 let cancel_every p =
   p.stopped <- true;
-  (match p.current with Some h -> cancel h | None -> ());
-  p.current <- None
+  cancel p.p_sim p.current;
+  p.current <- none
 
 let periodic_stopped p = p.stopped

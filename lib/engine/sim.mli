@@ -7,6 +7,13 @@
     tombstones are reaped in bulk once they outnumber live events, so
     periodic-timer churn does not bloat the queue.
 
+    The steady-state schedule/fire cycle is allocation-free: events live in
+    pooled slots recycled through a free list, handles are immediate ints
+    stamped with the slot's generation (so a stale handle to a recycled
+    slot is detected and {!cancel} on it is a no-op), labels are interned
+    ids backed by pre-resolved counters, and queue-depth gauge updates
+    batch behind a dirty flag. See DESIGN.md, "Allocation discipline".
+
     The event loop feeds the process-global telemetry registry
     ({!Psbox_telemetry.Metrics}): [sim.events_fired], [sim.events_scheduled],
     [sim.events_cancelled], [sim.queue_depth]/[sim.queue_depth_max] and the
@@ -19,7 +26,19 @@
 type t
 
 type handle
-(** A handle on a scheduled event, usable to cancel it. *)
+(** A handle on a scheduled event, usable to cancel it. Handles are
+    immediate ints (no allocation per event): a generation stamp plus a
+    pool index. Once the event fires, is reaped, or the simulator is
+    {!retire}d, the handle goes stale and every operation on it is a
+    harmless no-op. *)
+
+val none : handle
+(** A handle on no event: {!cancel} and {!cancelled} treat it as already
+    done. The idle value for "armed timer" fields — cheaper than
+    [handle option] because re-arming stores an immediate int instead of
+    allocating a [Some]. *)
+
+val is_none : handle -> bool
 
 type backend = [ `Heap | `Wheel ]
 (** Event-queue implementation: the reference binary heap, or the
@@ -28,9 +47,11 @@ type backend = [ `Heap | `Wheel ]
     either; the wheel makes insert O(1) and pop cost proportional to the
     current granule's population. *)
 
-val create : ?backend:backend -> unit -> t
-(** [create ()] uses the process default backend (initially [`Wheel];
-    see {!set_default_backend}). *)
+val create : ?backend:backend -> ?pooling:bool -> unit -> t
+(** [create ()] uses the domain's default backend (initially [`Wheel];
+    see {!set_default_backend}) and pooling mode (initially on; see
+    {!set_default_pooling}). Reuses a {!retire}d simulator of the same
+    configuration when one is available on this domain. *)
 
 val set_default_backend : backend -> unit
 (** Set the backend used by subsequent {!create} calls without an explicit
@@ -40,27 +61,57 @@ val set_default_backend : backend -> unit
 
 val default_backend : unit -> backend
 
+val set_default_pooling : bool -> unit
+(** Set whether subsequent {!create} calls recycle event-slot records
+    (default [true]) — the hook for the [--pool on|off] A/B toggle. With
+    pooling off every event allocates a fresh record (the pre-pool
+    behavior); fire order and experiment output are identical either way
+    (a qcheck property and the pool leg of [make sched-smoke] prove it).
+    Domain-local, like {!set_default_backend}. *)
+
+val default_pooling : unit -> bool
+
 val backend : t -> backend
 (** The queue implementation this simulator is running on. *)
+
+val pooling : t -> bool
+(** Whether this simulator recycles event-slot records. *)
 
 val now : t -> Time.t
 (** The current simulated time. *)
 
-val schedule_at : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+type label
+(** An interned event label: an id resolved once via {!label}, counted
+    under [sim.events.<name>] when a so-labelled event fires. The fire
+    path is a branch plus an array-indexed counter bump — no string,
+    hashtable, or closure per event. *)
+
+val label : string -> label
+(** Intern [name], resolving its [sim.events.<name>] counter. Idempotent;
+    safe from any domain. Resolve once at subsystem creation, not per
+    schedule call. *)
+
+val label_name : label -> string
+(** The name [l] was interned from (diagnostics). *)
+
+val schedule_at : t -> ?label:label -> Time.t -> (unit -> unit) -> handle
 (** [schedule_at sim t f] runs [f] when the clock reaches [t]. [?label]
-    counts the fire under the telemetry counter [sim.events.<label>]; the
-    counter is resolved per call, so label cold paths only.
+    counts the fire under the label's [sim.events.<name>] counter.
 
     @raise Invalid_argument if [t] is in the past. *)
 
-val schedule_after : t -> ?label:string -> Time.span -> (unit -> unit) -> handle
+val schedule_after : t -> ?label:label -> Time.span -> (unit -> unit) -> handle
 (** [schedule_after sim d f] runs [f] after [d] has elapsed. *)
 
-val cancel : handle -> unit
-(** Cancel a scheduled event. Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** Cancel a scheduled event. Cancelling an already-fired, already-
+    cancelled, stale (recycled slot) or {!none} handle is a no-op. *)
 
-val cancelled : handle -> bool
+val cancelled : t -> handle -> bool
+(** Whether the event behind [h] is a cancelled tombstone still awaiting
+    its bulk reap. Stale handles (fired, reaped, or [none]) read as
+    [false]: the pool cannot distinguish a reaped cancellation from a
+    fired event. *)
 
 val run_until : t -> Time.t -> unit
 (** [run_until sim t] fires every event scheduled strictly before or at [t]
@@ -68,6 +119,13 @@ val run_until : t -> Time.t -> unit
 
 val run : t -> unit
 (** Fire events until the queue is empty. *)
+
+val retire : t -> unit
+(** Return [sim]'s scratch storage (queue arrays, slot pool) to a small
+    domain-local cache for reuse by the next {!create} of the same
+    configuration, invalidating every outstanding handle. The simulator
+    must not be used afterwards. Fleet shards retire each device's
+    simulator so per-device warm-up allocation happens once per worker. *)
 
 val pending : t -> int
 (** Number of live events still scheduled. Cancelled events are excluded,
@@ -89,12 +147,12 @@ type periodic
 (** A recurring event, usable to stop the recurrence. *)
 
 val schedule_every :
-  t -> ?start:Time.t -> ?label:string -> Time.span -> (unit -> unit) -> periodic
+  t -> ?start:Time.t -> ?label:label -> Time.span -> (unit -> unit) -> periodic
 (** [schedule_every sim ~start span f] runs [f] at [start] (default: one
     period from now) and every [span] thereafter until {!cancel_every}.
-    [?label] counts fires under [sim.events.<label>]; the counter is
-    resolved once for the whole recurrence, so labelling periodics is free
-    on the hot path.
+    [?label] counts fires under the label's [sim.events.<name>] counter;
+    re-arming stores the interned id, so labelling periodics is free on
+    the hot path.
     @raise Invalid_argument if [span] is not positive. *)
 
 val cancel_every : periodic -> unit

@@ -105,6 +105,11 @@ let breakpoints tl =
   in
   build (tl.len - 1) []
 
+let iter_breakpoints tl ~f =
+  for i = 0 to tl.len - 1 do
+    f tl.times.(i) tl.values.(i)
+  done
+
 let energy_at tl t =
   let i = if t < tl.times.(0) then 0 else index_at tl t in
   tl.dropped_j +. tl.cum.(i) +. (tl.values.(i) *. Time.to_sec_f (t - tl.times.(i)))
@@ -125,15 +130,34 @@ let samples tl ~period ~from ~until =
       let t = from + (k * period) in
       (t, value_at tl t))
 
-let map_intervals tl ~from ~until ~f =
-  let acc = ref [] in
+let iter_samples tl ~period ~from ~until ~f =
+  if period <= 0 then invalid_arg "Timeline.iter_samples: period must be positive";
+  (* incremental index walk: samples arrive in time order, so each one only
+     ever moves the breakpoint index forward — no per-sample binary search *)
+  let i = ref (if from < tl.times.(0) then 0 else index_at tl from) in
+  let t = ref from in
+  while !t <= until do
+    while !i + 1 < tl.len && tl.times.(!i + 1) <= !t do
+      incr i
+    done;
+    f !t tl.values.(!i);
+    t := !t + period
+  done
+
+let fold_intervals tl ~from ~until ~init ~f =
+  let acc = ref init in
   let i = ref (index_at tl (max from tl.times.(0))) in
   let cursor = ref from in
   while !cursor < until do
     let seg_end = if !i + 1 < tl.len then min tl.times.(!i + 1) until else until in
     let seg_end = max seg_end !cursor in
-    if seg_end > !cursor then acc := f !cursor seg_end tl.values.(!i) :: !acc;
+    if seg_end > !cursor then acc := f !acc !cursor seg_end tl.values.(!i);
     cursor := seg_end;
     if !i + 1 < tl.len && !cursor >= tl.times.(!i + 1) then incr i
   done;
-  List.rev !acc
+  !acc
+
+let map_intervals tl ~from ~until ~f =
+  List.rev
+    (fold_intervals tl ~from ~until ~init:[] ~f:(fun acc s e v ->
+         f s e v :: acc))

@@ -36,6 +36,10 @@ val length : t -> int
 val breakpoints : t -> (Time.t * float) list
 (** All retained breakpoints, oldest first. *)
 
+val iter_breakpoints : t -> f:(Time.t -> float -> unit) -> unit
+(** Apply [f time value] to each retained breakpoint, oldest first, without
+    materializing the tuple list {!breakpoints} builds. *)
+
 val energy_at : t -> Time.t -> float
 (** [energy_at tl t] is the cumulative integral of the step function from
     the origin up to [t], in value-seconds. Stable across {!compact}: the
@@ -67,6 +71,30 @@ val samples :
 (** [samples tl ~period ~from ~until] resamples the timeline at a fixed
     period, like a DAQ would: one sample at [from], [from+period], ... up to
     and including [until] when aligned. *)
+
+val iter_samples :
+  t ->
+  period:Time.span ->
+  from:Time.t ->
+  until:Time.t ->
+  f:(Time.t -> float -> unit) ->
+  unit
+(** Like {!samples} but applies [f time value] to each sample instead of
+    building the tuple array, and walks the breakpoint index incrementally
+    instead of binary-searching per sample.
+    @raise Invalid_argument if [period] is not positive. *)
+
+val fold_intervals :
+  t ->
+  from:Time.t ->
+  until:Time.t ->
+  init:'a ->
+  f:('a -> Time.t -> Time.t -> float -> 'a) ->
+  'a
+(** [fold_intervals tl ~from ~until ~init ~f] folds [f acc start stop value]
+    over each constant-valued interval intersecting [\[from, until\]],
+    clipped to that window, oldest first — {!map_intervals} without the
+    intermediate list, for accumulating callers (window energy sums). *)
 
 val map_intervals :
   t -> from:Time.t -> until:Time.t -> f:(Time.t -> Time.t -> float -> 'a) -> 'a list

@@ -7,25 +7,52 @@
    [2^(granularity_bits + (l+1)*wheel_bits)] ns. Events beyond the top
    level's horizon sit in an unordered [overflow] list.
 
-   Slot lists are unordered (O(1) insert). Exact [(time, seq)] FIFO order is
-   recovered by a small "ready" heap holding only the events of the current
-   granule: everything outside the ready heap provably fires at
-   [cursor + granule] or later, so heap order within the granule is the
-   global order. When the ready heap drains, [refill] advances the cursor to
-   the next non-empty slot — cascading higher-level slots (and finally the
-   overflow list) down through re-insertion, each event dropping at least
-   one level per cascade. *)
+   Slots are unordered growable arrays (O(1) amortized insert, and — unlike
+   cons lists — zero steady-state allocation: a slot's backing array is
+   retained across rotations, so a churning workload reuses the same
+   storage instead of generating a cons cell per event per cascade level).
+   The [dummy] element passed to {!create} backs the unused tail of every
+   slot array, so consumed entries never pin dead elements against the GC.
+
+   Exact [(time, seq)] FIFO order is recovered by a small "ready" heap
+   holding only the events of the current granule: everything outside the
+   ready heap provably fires at [cursor + granule] or later, so heap order
+   within the granule is the global order. When the ready heap drains,
+   [refill] advances the cursor to the next non-empty slot — cascading
+   higher-level slots (and finally the overflow list) down through
+   re-insertion, each event dropping at least one level per cascade. *)
+
+(* Growable unordered bag. The backing array only ever grows, so in steady
+   state [bag_add]/[bag_drain] never allocate. *)
+type 'a bag = { mutable data : 'a array; mutable len : int }
+
+let bag_make () = { data = [||]; len = 0 }
+
+let bag_add b dummy x =
+  let cap = Array.length b.data in
+  if b.len = cap then begin
+    let data = Array.make (max 4 (2 * cap)) dummy in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let bag_reset b dummy n =
+  (* callers have already consumed entries [0..n-1]; drop the references *)
+  Array.fill b.data 0 n dummy
 
 type 'a t = {
   cmp : 'a -> 'a -> int;
   time : 'a -> int;
+  dummy : 'a; (* backs unused slot-array entries *)
   g_bits : int; (* log2 of the level-0 slot width, ns *)
   w_bits : int; (* log2 of the slot count per level *)
   nlevels : int;
   slot_mask : int; (* 2^w_bits - 1 *)
   ready : 'a Heap.t; (* events of the current granule, exact order *)
-  levels : 'a list array array; (* levels.(l).(i): unordered *)
-  mutable overflow : 'a list; (* beyond the top level's horizon *)
+  levels : 'a bag array array; (* levels.(l).(i): unordered *)
+  mutable overflow : 'a list; (* beyond the top level's horizon (rare) *)
   mutable cursor : int; (* granule floor of the current position *)
   mutable size : int;
 }
@@ -39,8 +66,8 @@ let slot_width t l = 1 lsl (t.g_bits + (l * t.w_bits))
 let level_span t l = 1 lsl (t.g_bits + ((l + 1) * t.w_bits))
 let wheel_span t = level_span t (t.nlevels - 1)
 
-let create ?(granularity_bits = 16) ?(wheel_bits = 5) ?(levels = 6) ~cmp
-    ~time () =
+let create ?(granularity_bits = 16) ?(wheel_bits = 5) ?(levels = 6) ~dummy
+    ~cmp ~time () =
   if granularity_bits < 1 || wheel_bits < 1 || levels < 1 then
     invalid_arg "Wheel.create: bits/levels must be positive";
   if granularity_bits + (levels * wheel_bits) > 60 then
@@ -48,13 +75,15 @@ let create ?(granularity_bits = 16) ?(wheel_bits = 5) ?(levels = 6) ~cmp
   {
     cmp;
     time;
+    dummy;
     g_bits = granularity_bits;
     w_bits = wheel_bits;
     nlevels = levels;
     slot_mask = (1 lsl wheel_bits) - 1;
     ready = Heap.create ~cmp;
     levels =
-      Array.init levels (fun _ -> Array.make (1 lsl wheel_bits) []);
+      Array.init levels (fun _ ->
+          Array.init (1 lsl wheel_bits) (fun _ -> bag_make ()));
     overflow = [];
     cursor = 0;
     size = 0;
@@ -77,19 +106,20 @@ let in_rotation t l time =
 
 (* Place one event (no size accounting). Events inside the current granule
    go straight to the ready heap; later events go in the lowest level whose
-   current rotation covers them; events beyond every horizon overflow. *)
+   current rotation covers them; events beyond every horizon overflow.
+   [find_level] is a top-level function, not an inner [let rec]: an inner
+   recursive helper closing over [t]/[x] is a closure allocated per call,
+   which alone costs tens of words per event on the hot path. *)
+let rec find_level t x time l =
+  if l >= t.nlevels then t.overflow <- x :: t.overflow
+  else if in_rotation t l time then
+    bag_add t.levels.(l).(slot_index t l time) t.dummy x
+  else find_level t x time (l + 1)
+
 let place t x =
   let time = t.time x in
   if time < t.cursor + granule t then Heap.push t.ready x
-  else begin
-    let rec find l =
-      if l >= t.nlevels then t.overflow <- x :: t.overflow
-      else if in_rotation t l time then
-        t.levels.(l).(slot_index t l time) <- x :: t.levels.(l).(slot_index t l time)
-      else find (l + 1)
-    in
-    find 0
-  end
+  else find_level t x time 0
 
 let push t x =
   if t.time x < 0 then invalid_arg "Wheel.push: negative time";
@@ -99,38 +129,45 @@ let push t x =
 (* Advance the cursor to the next non-empty slot and repopulate the ready
    heap. Invariants relied on: every event outside the ready heap is at
    [cursor + granule] or later; the cursor's own slot at every level is
-   empty (placement always finds a strictly lower level for such times). *)
+   empty (placement always finds a strictly lower level for such times);
+   cascading a level-[l] slot re-places each event strictly below level
+   [l], so draining a slot in place never re-enters it.
+
+   All helpers are top-level mutual recursion, not inner [let rec]s: this
+   runs on every pop past a granule boundary, and inner helpers closing
+   over the scan state would be closures allocated per refill. *)
 let rec refill t =
-  if Heap.size t.ready = 0 && t.size > 0 then begin
-    (* lowest level with a non-empty slot later in its current rotation *)
-    let rec scan_levels l =
-      if l >= t.nlevels then cascade_overflow t
-      else begin
-        let wheel = t.levels.(l) in
-        let cur = slot_index t l t.cursor in
-        let rec scan i =
-          if i > t.slot_mask then scan_levels (l + 1)
-          else
-            match wheel.(i) with
-            | [] -> scan (i + 1)
-            | events ->
-                wheel.(i) <- [];
-                (* rotation base: cursor with the bits at and below this
-                   level's index cleared, then the found index written in *)
-                let low_mask = level_span t l - 1 in
-                t.cursor <-
-                  t.cursor land lnot low_mask lor (i * slot_width t l);
-                if l = 0 then List.iter (Heap.push t.ready) events
-                else begin
-                  (* cascade: each event re-places at least one level down *)
-                  List.iter (place t) events;
-                  refill t
-                end
-        in
-        scan (cur + 1)
-      end
-    in
-    scan_levels 0
+  if Heap.size t.ready = 0 && t.size > 0 then scan_levels t 0
+
+(* lowest level with a non-empty slot later in its current rotation *)
+and scan_levels t l =
+  if l >= t.nlevels then cascade_overflow t
+  else scan_slots t l t.levels.(l) (slot_index t l t.cursor + 1)
+
+and scan_slots t l wheel i =
+  if i > t.slot_mask then scan_levels t (l + 1)
+  else begin
+    let bag = wheel.(i) in
+    if bag.len = 0 then scan_slots t l wheel (i + 1)
+    else begin
+      let n = bag.len in
+      bag.len <- 0;
+      (* rotation base: cursor with the bits at and below this
+         level's index cleared, then the found index written in *)
+      let low_mask = level_span t l - 1 in
+      t.cursor <- t.cursor land lnot low_mask lor (i * slot_width t l);
+      if l = 0 then
+        for k = 0 to n - 1 do
+          Heap.push t.ready bag.data.(k)
+        done
+      else
+        (* cascade: each event re-places at least one level down *)
+        for k = 0 to n - 1 do
+          place t bag.data.(k)
+        done;
+      bag_reset bag t.dummy n;
+      if l > 0 then refill t
+    end
   end
 
 and cascade_overflow t =
@@ -162,26 +199,56 @@ let pop t =
       t.size <- t.size - 1;
       Some x
 
+(* Allocation-free hot-loop primitives: callers must check [size] first. *)
+let top t =
+  refill t;
+  Heap.top t.ready
+
+let drop t =
+  refill t;
+  Heap.drop t.ready;
+  t.size <- t.size - 1
+
 let filter_in_place t ~keep =
   Heap.filter_in_place t.ready ~keep;
   let kept = ref (Heap.size t.ready) in
   for l = 0 to t.nlevels - 1 do
     let wheel = t.levels.(l) in
     for i = 0 to t.slot_mask do
-      match wheel.(i) with
-      | [] -> ()
-      | events ->
-          let events = List.filter keep events in
-          wheel.(i) <- events;
-          kept := !kept + List.length events
+      let bag = wheel.(i) in
+      if bag.len > 0 then begin
+        let j = ref 0 in
+        for k = 0 to bag.len - 1 do
+          let x = bag.data.(k) in
+          if keep x then begin
+            bag.data.(!j) <- x;
+            incr j
+          end
+        done;
+        Array.fill bag.data !j (bag.len - !j) t.dummy;
+        bag.len <- !j;
+        kept := !kept + !j
+      end
     done
   done;
   t.overflow <- List.filter keep t.overflow;
   kept := !kept + List.length t.overflow;
   t.size <- !kept
 
+(* Also rewinds the cursor, so a cleared wheel is reusable from time zero
+   (scratch reuse across fleet devices). Slot backing arrays are kept. *)
 let clear t =
   Heap.clear t.ready;
-  Array.iter (fun wheel -> Array.fill wheel 0 (Array.length wheel) []) t.levels;
+  Array.iter
+    (fun wheel ->
+      Array.iter
+        (fun bag ->
+          if bag.len > 0 then begin
+            Array.fill bag.data 0 bag.len t.dummy;
+            bag.len <- 0
+          end)
+        wheel)
+    t.levels;
   t.overflow <- [];
+  t.cursor <- 0;
   t.size <- 0

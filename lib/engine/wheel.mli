@@ -22,13 +22,17 @@ val create :
   ?granularity_bits:int ->
   ?wheel_bits:int ->
   ?levels:int ->
+  dummy:'a ->
   cmp:('a -> 'a -> int) ->
   time:('a -> int) ->
   unit ->
   'a t
-(** [create ~cmp ~time ()] builds an empty wheel. Defaults: 16 granularity
-    bits (65.536 µs granules at 1 ns resolution), 5 wheel bits (32 slots
-    per level), 6 levels (≈ 19.5 h horizon).
+(** [create ~dummy ~cmp ~time ()] builds an empty wheel. Defaults: 16
+    granularity bits (65.536 µs granules at 1 ns resolution), 5 wheel bits
+    (32 slots per level), 6 levels (≈ 19.5 h horizon). Slots are backed by
+    growable arrays that are retained across rotations, so steady-state
+    insert/cascade is allocation-free; [dummy] backs the unused tail of
+    each slot array (it is never compared or returned).
     @raise Invalid_argument if any size parameter is non-positive or the
     total span exceeds the integer time domain. *)
 
@@ -42,9 +46,20 @@ val peek : 'a t -> 'a option
 (** Return the minimum element without removing it. Like {!pop}, may
     advance the internal cursor and cascade slots. *)
 
+val top : 'a t -> 'a
+(** Allocation-free {!peek}. Undefined on an empty wheel — callers must
+    check {!size} first. *)
+
+val drop : 'a t -> unit
+(** Allocation-free {!pop} that discards the minimum element. Must only be
+    called on a non-empty wheel. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
 val clear : 'a t -> unit
+(** Empty the wheel and rewind the cursor to zero, keeping the slot
+    backing arrays — a cleared wheel is reusable from time zero. *)
 
 val filter_in_place : 'a t -> keep:('a -> bool) -> unit
 (** Drop every element for which [keep] is [false] (tombstone reaping). *)

@@ -37,11 +37,10 @@ let series_of_samples ~name samples =
 
 let series_of_timeline ~name tl ~from ~until =
   let period = max (Time.us 100) ((until - from) / 240) in
-  let points =
-    Array.to_list (Timeline.samples tl ~period ~from ~until)
-    |> List.map (fun (t, v) -> (Time.to_sec_f t, v))
-  in
-  { s_name = name; s_points = points; s_unit = "W" }
+  let points = ref [] in
+  Timeline.iter_samples tl ~period ~from ~until ~f:(fun t v ->
+      points := (Time.to_sec_f t, v) :: !points);
+  { s_name = name; s_points = List.rev !points; s_unit = "W" }
 
 (* --- rendering ---------------------------------------------------- *)
 

@@ -266,18 +266,25 @@ let run_device ?(health = false) ~scenario ~fleet_seed idx =
             run_scenario ~health ~scenario ~sys_seed p
           in
           let d_violations, d_windows = count_violations hist in
-          {
-            d_index = idx;
-            d_seed = sys_seed;
-            d_params = p;
-            d_energy_j = app_energies audit sys;
-            d_cause_j = cause_totals audit;
-            d_violations;
-            d_windows;
-            d_total_j = System.live_energy_j sys;
-            d_metrics = Tm.export ();
-            d_incidents;
-          }))
+          let dev =
+            {
+              d_index = idx;
+              d_seed = sys_seed;
+              d_params = p;
+              d_energy_j = app_energies audit sys;
+              d_cause_j = cause_totals audit;
+              d_violations;
+              d_windows;
+              d_total_j = System.live_energy_j sys;
+              d_metrics = Tm.export ();
+              d_incidents;
+            }
+          in
+          (* hand the device's simulator scratch (queue arrays, slot pool)
+             back to this worker's cache so the next device skips warm-up
+             allocation *)
+          Sim.retire (System.sim sys);
+          dev))
 
 (* ---- work-stealing domain pool -------------------------------------- *)
 
@@ -322,11 +329,14 @@ let pool_map ~jobs n f =
             end
           end)
     in
-    (* Fresh domains default to `Wheel; propagate the caller's --sched
-       choice so device event queues behave identically in every shard. *)
+    (* Fresh domains default to `Wheel with pooling on; propagate the
+       caller's --sched and --pool choices so device event queues behave
+       identically in every shard. *)
     let backend = Sim.default_backend () in
+    let pooling = Sim.default_pooling () in
     let worker w () =
       Sim.set_default_backend backend;
+      Sim.set_default_pooling pooling;
       let rec go () =
         match take w with
         | Some i ->

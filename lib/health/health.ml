@@ -163,7 +163,8 @@ type t = {
   mutable h_responders : (string * (incident -> unit)) list;  (* add order *)
   mutable h_incidents : incident list;  (* newest first *)
   mutable h_next_id : int;
-  mutable h_tick : Sim.handle option;
+  mutable h_tick : Sim.handle;
+  h_lbl_tick : Sim.label; (* counts under sim.events.health.tick *)
   mutable h_evals : int;
   mutable h_stopped : bool;
 }
@@ -354,20 +355,16 @@ let eval_now t =
 let tick_needed t = (not t.h_stopped) && t.h_rules <> []
 
 let rec arm_tick t =
-  match t.h_tick with
-  | Some _ -> ()
-  | None ->
-      if tick_needed t then begin
-        let k = ((Sim.now t.h_sim - t.h_epoch) / t.h_period) + 1 in
-        t.h_tick <-
-          Some
-            (Sim.schedule_at t.h_sim ~label:"health.tick"
-               (t.h_epoch + (k * t.h_period))
-               (fun () -> tick_fired t))
-      end
+  if Sim.is_none t.h_tick && tick_needed t then begin
+    let k = ((Sim.now t.h_sim - t.h_epoch) / t.h_period) + 1 in
+    t.h_tick <-
+      Sim.schedule_at t.h_sim ~label:t.h_lbl_tick
+        (t.h_epoch + (k * t.h_period))
+        (fun () -> tick_fired t)
+  end
 
 and tick_fired t =
-  t.h_tick <- None;
+  t.h_tick <- Sim.none;
   if not t.h_stopped then begin
     eval_now t;
     arm_tick t
@@ -383,7 +380,8 @@ let create sim ?(period = Time.ms 50) () =
     h_responders = [];
     h_incidents = [];
     h_next_id = 1;
-    h_tick = None;
+    h_tick = Sim.none;
+    h_lbl_tick = Sim.label "health.tick";
     h_evals = 0;
     h_stopped = false;
   }
@@ -427,11 +425,8 @@ let on_firing t ~rule fn = t.h_responders <- t.h_responders @ [ (rule, fn) ]
 let stop t =
   if not t.h_stopped then begin
     t.h_stopped <- true;
-    match t.h_tick with
-    | Some h ->
-        Sim.cancel h;
-        t.h_tick <- None
-    | None -> ()
+    Sim.cancel t.h_sim t.h_tick;
+    t.h_tick <- Sim.none
   end
 
 (* ---- incident-log JSON --------------------------------------------- *)

@@ -32,7 +32,7 @@ type running = {
   cmd : command;
   mutable remaining_s : float; (* device-seconds at the highest OPP *)
   mutable last_update : Time.t;
-  mutable completion : Sim.handle option;
+  mutable completion : Sim.handle;
 }
 
 type t = {
@@ -56,7 +56,7 @@ type t = {
   resume_delay : Time.span;
   mutable suspended : bool;
   mutable resuming : bool;
-  mutable suspend_timer : Sim.handle option;
+  mutable suspend_timer : Sim.handle;
   (* cumulative suspended residency (for counter-driven power models) *)
   mutable suspended_accum : Time.span;
   mutable suspended_since : Time.t;
@@ -124,9 +124,9 @@ let rec complete dev r () =
   dev.on_complete r.cmd
 
 and schedule_completion dev r =
-  (match r.completion with Some h -> Sim.cancel h | None -> ());
+  Sim.cancel dev.sim r.completion;
   let duration = Time.of_sec_f (r.remaining_s /. dev.factor) in
-  r.completion <- Some (Sim.schedule_after dev.sim (max 1 duration) (complete dev r))
+  r.completion <- Sim.schedule_after dev.sim (max 1 duration) (complete dev r)
 
 and start_cmd dev cmd =
   let now = Sim.now dev.sim in
@@ -134,7 +134,7 @@ and start_cmd dev cmd =
   cmd.started_at <- Some now;
   let was_idle = dev.busy_units_now = 0 in
   dev.busy_units_now <- dev.busy_units_now + cmd.units;
-  let r = { cmd; remaining_s = cmd.work_s; last_update = now; completion = None } in
+  let r = { cmd; remaining_s = cmd.work_s; last_update = now; completion = Sim.none } in
   schedule_completion dev r;
   dev.running <- r :: dev.running;
   update_power dev;
@@ -153,15 +153,14 @@ and arm_autosuspend dev =
   match dev.autosuspend with
   | None -> ()
   | Some span ->
-      (match dev.suspend_timer with Some h -> Sim.cancel h | None -> ());
+      Sim.cancel dev.sim dev.suspend_timer;
       dev.suspend_timer <-
-        Some
-          (Sim.schedule_after dev.sim span (fun () ->
-               if dev.running = [] && dev.waiting = [] then begin
-                 dev.suspended <- true;
-                 dev.suspended_since <- Sim.now dev.sim;
-                 update_power dev
-               end))
+        Sim.schedule_after dev.sim span (fun () ->
+            if dev.running = [] && dev.waiting = [] then begin
+              dev.suspended <- true;
+              dev.suspended_since <- Sim.now dev.sim;
+              update_power dev
+            end)
 
 let create sim ?retention ~name ~units ?(opps = default_opps)
     ?(governor = Dvfs.Ondemand { up_threshold = 0.6; sampling = Time.ms 20 })
@@ -195,7 +194,7 @@ let create sim ?retention ~name ~units ?(opps = default_opps)
       resume_delay;
       suspended = false;
       resuming = false;
-      suspend_timer = None;
+      suspend_timer = Sim.none;
       suspended_accum = 0;
       suspended_since = Time.zero;
       util_mark = Sim.now sim;
@@ -239,7 +238,7 @@ let units dev = dev.units
 
 let submit dev cmd =
   cmd.submitted_at <- Sim.now dev.sim;
-  (match dev.suspend_timer with Some h -> Sim.cancel h | None -> ());
+  Sim.cancel dev.sim dev.suspend_timer;
   dev.waiting <- dev.waiting @ [ cmd ];
   if dev.suspended then begin
     dev.suspended <- false;

@@ -19,11 +19,11 @@ type t = {
   changes : change Bus.t;
   name : string;
   tm_transitions : Tm.counter;
-  tm_samples : Tm.counter; (* pre-resolved: samples are one-shot events *)
+  lbl_sample : Sim.label; (* interned: samples are hot one-shot events *)
   epoch : Time.t; (* anchor of the sampling grid (creation time) *)
   mutable index : int;
   mutable ceiling : int;
-  mutable next : Sim.handle option; (* armed sample; None while parked *)
+  mutable next : Sim.handle; (* armed sample; Sim.none while parked *)
   mutable stopped : bool;
   mutable frozen : bool;
 }
@@ -55,14 +55,12 @@ let set_index d i =
 let rec arm d ~up_threshold ~sampling =
   let k = ((Sim.now d.sim - d.epoch) / sampling) + 1 in
   d.next <-
-    Some
-      (Sim.schedule_at d.sim (d.epoch + (k * sampling)) (fun () ->
-           sample d ~up_threshold ~sampling))
+    Sim.schedule_at d.sim ~label:d.lbl_sample (d.epoch + (k * sampling))
+      (fun () -> sample d ~up_threshold ~sampling)
 
 and sample d ~up_threshold ~sampling =
-  d.next <- None;
+  d.next <- Sim.none;
   if not d.stopped then begin
-    Tm.incr d.tm_samples;
     let util = d.get_util () in
     if not d.frozen then begin
       if util >= up_threshold then set_index d (Array.length d.opps - 1)
@@ -76,22 +74,19 @@ and sample d ~up_threshold ~sampling =
   end
 
 let parked d =
-  match (d.governor, d.next) with
-  | Ondemand _, None -> not d.stopped
+  match d.governor with
+  | Ondemand _ -> Sim.is_none d.next && not d.stopped
   | _ -> false
 
 let unpark d =
   match d.governor with
-  | Ondemand { up_threshold; sampling } -> (
-      match d.next with
-      | Some _ -> ()
-      | None ->
-          if not d.stopped then begin
-            (* discard the idle stretch, as the periodic governor's regular
-               reads would have, so the next sample's window starts here *)
-            ignore (d.get_util ());
-            arm d ~up_threshold ~sampling
-          end)
+  | Ondemand { up_threshold; sampling } ->
+      if Sim.is_none d.next && not d.stopped then begin
+        (* discard the idle stretch, as the periodic governor's regular
+           reads would have, so the next sample's window starts here *)
+        ignore (d.get_util ());
+        arm d ~up_threshold ~sampling
+      end
   | Performance | Userspace -> ()
 
 let create sim ?(name = "dvfs") ?activity ~opps ~governor ~get_util () =
@@ -100,9 +95,9 @@ let create sim ?(name = "dvfs") ?activity ~opps ~governor ~get_util () =
   let d =
     { sim; opps; governor; get_util; changes = Bus.create (); name;
       tm_transitions = Tm.counter (Printf.sprintf "dvfs.%s.transitions" name);
-      tm_samples = Tm.counter ("sim.events.dvfs." ^ name);
+      lbl_sample = Sim.label ("dvfs." ^ name);
       epoch = Sim.now sim; index; ceiling = Array.length opps - 1;
-      next = None; stopped = false; frozen = false }
+      next = Sim.none; stopped = false; frozen = false }
   in
   (match governor with
   | Ondemand { up_threshold; sampling } -> arm d ~up_threshold ~sampling
@@ -145,8 +140,5 @@ let frozen d = d.frozen
 
 let stop d =
   d.stopped <- true;
-  match d.next with
-  | Some h ->
-      Sim.cancel h;
-      d.next <- None
-  | None -> ()
+  Sim.cancel d.sim d.next;
+  d.next <- Sim.none

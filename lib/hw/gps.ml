@@ -12,7 +12,7 @@ type t = {
   off_w : float;
   rail : Power_rail.t;
   mutable st : state;
-  mutable fix_timer : Sim.handle option;
+  mutable fix_timer : Sim.handle;
   subs : (int, unit) Hashtbl.t;
   app_rails : (int, Power_rail.t) Hashtbl.t;
   mutable on_app_rail : Power_rail.t -> unit;
@@ -30,7 +30,7 @@ let create sim ?retention ?(name = "gps") ?(cold_start = Time.sec 8)
     off_w;
     rail = Power_rail.create ?retention sim ~name ~idle_w:off_w;
     st = Off;
-    fix_timer = None;
+    fix_timer = Sim.none;
     subs = Hashtbl.create 4;
     app_rails = Hashtbl.create 4;
     on_app_rail = (fun _ -> ());
@@ -77,13 +77,12 @@ let subscribe g ~app =
     (if g.st = Off then begin
        g.st <- Acquiring;
        g.fix_timer <-
-         Some
-           (Sim.schedule_after g.sim g.cold_start (fun () ->
-                g.fix_timer <- None;
-                if g.st = Acquiring then begin
-                  g.st <- Tracking;
-                  update g
-                end))
+         Sim.schedule_after g.sim g.cold_start (fun () ->
+             g.fix_timer <- Sim.none;
+             if g.st = Acquiring then begin
+               g.st <- Tracking;
+               update g
+             end)
      end);
     update g
   end
@@ -92,11 +91,8 @@ let unsubscribe g ~app =
   if subscribed g ~app then begin
     Hashtbl.remove g.subs app;
     if Hashtbl.length g.subs = 0 then begin
-      (match g.fix_timer with
-      | Some h ->
-          Sim.cancel h;
-          g.fix_timer <- None
-      | None -> ());
+      Sim.cancel g.sim g.fix_timer;
+      g.fix_timer <- Sim.none;
       g.st <- Off
     end;
     update g

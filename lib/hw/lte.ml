@@ -18,7 +18,7 @@ type t = {
   mutable st : state;
   mutable on_air : bool;
   queue : pending Queue.t;
-  mutable demote : Sim.handle option;
+  mutable demote : Sim.handle;
   sent : (int, int) Hashtbl.t;
   mutable log : (int * Time.t * Time.t) list; (* newest first *)
 }
@@ -41,7 +41,7 @@ let create sim ?(name = "lte") ?(rate_mbps = 20.0) ?(idle_w = 0.02)
     st = Idle;
     on_air = false;
     queue = Queue.create ();
-    demote = None;
+    demote = Sim.none;
     sent = Hashtbl.create 4;
     log = [];
   }
@@ -60,11 +60,8 @@ let update_power r =
   Power_rail.set_power r.rail w
 
 let cancel_demote r =
-  match r.demote with
-  | Some h ->
-      Sim.cancel h;
-      r.demote <- None
-  | None -> ()
+  Sim.cancel r.sim r.demote;
+  r.demote <- Sim.none
 
 (* The network's demotion timers: DCH -> FACH -> Idle. The OS has no say. *)
 let rec arm_demotion r =
@@ -72,21 +69,19 @@ let rec arm_demotion r =
   match r.st with
   | Dch ->
       r.demote <-
-        Some
-          (Sim.schedule_after r.sim r.dch_tail (fun () ->
-               if r.st = Dch && not r.on_air && Queue.is_empty r.queue then begin
-                 r.st <- Fach;
-                 update_power r;
-                 arm_demotion r
-               end))
+        Sim.schedule_after r.sim r.dch_tail (fun () ->
+            if r.st = Dch && not r.on_air && Queue.is_empty r.queue then begin
+              r.st <- Fach;
+              update_power r;
+              arm_demotion r
+            end)
   | Fach ->
       r.demote <-
-        Some
-          (Sim.schedule_after r.sim r.fach_tail (fun () ->
-               if r.st = Fach then begin
-                 r.st <- Idle;
-                 update_power r
-               end))
+        Sim.schedule_after r.sim r.fach_tail (fun () ->
+            if r.st = Fach then begin
+              r.st <- Idle;
+              update_power r
+            end)
   | Idle | Promoting -> ()
 
 let rec transmit_next r =

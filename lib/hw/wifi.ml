@@ -45,7 +45,7 @@ type t = {
   mutable on_air : pkt option;
   mutable queue : pkt list; (* FIFO, head oldest *)
   mutable on_sent : pkt -> unit;
-  mutable tail_timer : Sim.handle option;
+  mutable tail_timer : Sim.handle;
   mutable airtime_accum : Time.span;
   mutable air_since : Time.t;
   (* power-state residency counters (for counter-driven power models):
@@ -84,22 +84,18 @@ let set_awake_state nic b =
   end
 
 let cancel_tail nic =
-  match nic.tail_timer with
-  | Some h ->
-      Sim.cancel h;
-      nic.tail_timer <- None
-  | None -> ()
+  Sim.cancel nic.sim nic.tail_timer;
+  nic.tail_timer <- Sim.none
 
 let arm_tail nic =
   cancel_tail nic;
   nic.tail_timer <-
-    Some
-      (Sim.schedule_after nic.sim nic.tail (fun () ->
-           nic.tail_timer <- None;
-           if nic.on_air = None && nic.queue = [] then begin
-             set_awake_state nic false;
-             update_power nic
-           end))
+    Sim.schedule_after nic.sim nic.tail (fun () ->
+        nic.tail_timer <- Sim.none;
+        if nic.on_air = None && nic.queue = [] then begin
+          set_awake_state nic false;
+          update_power nic
+        end)
 
 let wake nic =
   cancel_tail nic;
@@ -190,7 +186,7 @@ let create sim ?retention ?(name = "wifi") ?(rate_mbps = 40.0)
       on_air = None;
       queue = [];
       on_sent = (fun _ -> ());
-      tail_timer = None;
+      tail_timer = Sim.none;
       airtime_accum = 0;
       air_since = Time.zero;
       awake_accum = 0;

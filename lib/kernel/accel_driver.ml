@@ -49,7 +49,8 @@ type t = {
          foreign balloon held the queue, to be accepted at flush-others *)
   share_bus : share_change Bus.t;
   gates : (int, gate) Hashtbl.t;
-  mutable gate_pump : (Time.t * Sim.handle) option;
+  mutable gate_pump : Sim.handle; (* armed wakeup, Sim.none when idle *)
+  mutable gate_at : Time.t; (* instant gate_pump is aimed at *)
       (* pending wakeup for the earliest gated backlogged app *)
   (* telemetry: per-device handles resolved once at create; the trace
      track is "kernel.accel.<device>" with one lane per app *)
@@ -257,26 +258,16 @@ and arm_gate_pump d =
   in
   match next with
   | None -> ()
-  | Some t -> (
-      match d.gate_pump with
-      | Some (at, _) when at <= t -> ()
-      | Some (_, h) ->
-          Sim.cancel h;
-          d.gate_pump <-
-            Some
-              ( t,
-                Sim.schedule_at d.sim t (fun () ->
-                    d.gate_pump <- None;
-                    Tm.incr d.tm_gate_wakeups;
-                    pump d) )
-      | None ->
-          d.gate_pump <-
-            Some
-              ( t,
-                Sim.schedule_at d.sim t (fun () ->
-                    d.gate_pump <- None;
-                    Tm.incr d.tm_gate_wakeups;
-                    pump d) ))
+  | Some t ->
+      if Sim.is_none d.gate_pump || d.gate_at > t then begin
+        Sim.cancel d.sim d.gate_pump;
+        d.gate_at <- t;
+        d.gate_pump <-
+          Sim.schedule_at d.sim t (fun () ->
+              d.gate_pump <- Sim.none;
+              Tm.incr d.tm_gate_wakeups;
+              pump d)
+      end
 
 and check_drain d =
   match d.phase with
@@ -398,7 +389,8 @@ let create sim dev ?(policy = Fair) ?(buffering = Per_process_queues)
       blocked_submitters = [];
       share_bus = Bus.create ();
       gates = Hashtbl.create 4;
-      gate_pump = None;
+      gate_pump = Sim.none;
+      gate_at = Time.zero;
       tm_track = "kernel.accel." ^ Accel.name dev;
       tm_dispatched =
         Tm.counter (Printf.sprintf "accel.%s.dispatched" (Accel.name dev));

@@ -43,7 +43,8 @@ type t = {
   mutable pkt_log : Wifi.pkt list; (* completed frames, newest first *)
   share_bus : share_change Bus.t;
   gates : (int, gate) Hashtbl.t;
-  mutable gate_pump : (Time.t * Sim.handle) option;
+  mutable gate_pump : Sim.handle; (* armed wakeup, Sim.none when idle *)
+  mutable gate_at : Time.t; (* instant gate_pump is aimed at *)
   (* telemetry handles, resolved once at create *)
   tm_tx : Tm.counter;
   tm_rx : Tm.counter;
@@ -207,22 +208,16 @@ and arm_gate_pump d =
   in
   match next with
   | None -> ()
-  | Some t -> (
-      let arm () =
+  | Some t ->
+      if Sim.is_none d.gate_pump || d.gate_at > t then begin
+        Sim.cancel d.sim d.gate_pump;
+        d.gate_at <- t;
         d.gate_pump <-
-          Some
-            ( t,
-              Sim.schedule_at d.sim t (fun () ->
-                  d.gate_pump <- None;
-                  Tm.incr d.tm_gate_wakeups;
-                  pump d) )
-      in
-      match d.gate_pump with
-      | Some (at, _) when at <= t -> ()
-      | Some (_, h) ->
-          Sim.cancel h;
-          arm ()
-      | None -> arm ())
+          Sim.schedule_at d.sim t (fun () ->
+              d.gate_pump <- Sim.none;
+              Tm.incr d.tm_gate_wakeups;
+              pump d)
+      end
 
 and check_drain d =
   match d.phase with
@@ -347,7 +342,8 @@ let create sim nic ?(window = 1) () =
       pkt_log = [];
       share_bus = Bus.create ();
       gates = Hashtbl.create 4;
-      gate_pump = None;
+      gate_pump = Sim.none;
+      gate_at = Time.zero;
       tm_tx = Tm.counter "net.tx_packets";
       tm_rx = Tm.counter "net.rx_packets";
       tm_tx_bytes = Tm.counter "net.tx_bytes";

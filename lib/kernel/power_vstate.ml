@@ -24,7 +24,7 @@ type t = {
   mutable acc : Time.span; (* in-balloon time since the last private decision *)
   mutable busy_acc : float; (* busy device-seconds over the same window *)
   mutable in_balloon : bool;
-  mutable timer : Sim.handle option; (* mid-balloon private governor tick *)
+  mutable timer : Sim.handle; (* mid-balloon private governor tick *)
 }
 
 let pristine device =
@@ -68,7 +68,7 @@ let create sim device =
     acc = 0;
     busy_acc = 0.0;
     in_balloon = false;
-    timer = None;
+    timer = Sim.none;
   }
 
 let dvfs_of device =
@@ -78,11 +78,8 @@ let dvfs_of device =
   | Wifi_dev _ -> None
 
 let cancel_timer v =
-  match v.timer with
-  | Some h ->
-      Sim.cancel h;
-      v.timer <- None
-  | None -> ()
+  Sim.cancel v.sim v.timer;
+  v.timer <- Sim.none
 
 (* One ondemand decision over the accumulated in-balloon window. *)
 let rec governor_step v =
@@ -120,21 +117,20 @@ and arm_timer v =
   if v.in_balloon then begin
     let wait = max (Time.us 1) (sampling - v.acc) in
     v.timer <-
-      Some
-        (Sim.schedule_after v.sim wait (fun () ->
-             v.timer <- None;
-             if v.in_balloon then begin
-               let now = Sim.now v.sim in
-               v.acc <- v.acc + (now - v.balloon_started);
-               v.busy_acc <- v.busy_acc +. (busy_seconds v.device -. v.busy_mark);
-               v.balloon_started <- now;
-               v.busy_mark <- busy_seconds v.device;
-               (* decide from the live state, apply to the live device *)
-               v.psbox_state <- capture v.device;
-               governor_step v;
-               restore v.device v.psbox_state;
-               arm_timer v
-             end))
+      Sim.schedule_after v.sim wait (fun () ->
+          v.timer <- Sim.none;
+          if v.in_balloon then begin
+            let now = Sim.now v.sim in
+            v.acc <- v.acc + (now - v.balloon_started);
+            v.busy_acc <- v.busy_acc +. (busy_seconds v.device -. v.busy_mark);
+            v.balloon_started <- now;
+            v.busy_mark <- busy_seconds v.device;
+            (* decide from the live state, apply to the live device *)
+            v.psbox_state <- capture v.device;
+            governor_step v;
+            restore v.device v.psbox_state;
+            arm_timer v
+          end)
   end
 
 let on_balloon_start v =

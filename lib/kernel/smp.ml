@@ -53,7 +53,7 @@ type quota_state = {
   mutable q_limit : float; (* core-seconds of runtime per second, >= 0 *)
   mutable q_used : Time.span; (* runtime consumed in the current period *)
   mutable q_throttled : bool;
-  mutable q_event : Sim.handle option; (* analytic quota-crossing wakeup *)
+  mutable q_event : Sim.handle; (* analytic quota-crossing wakeup *)
 }
 
 type balloon = {
@@ -80,12 +80,12 @@ type t = {
          this does not advance on accounting updates); dispatched + tick is
          the minimum quantum before a planned preemption/rotation, which is
          the role the tick grid played in the polling scheduler *)
-  work_events : Sim.handle option array;
-  plan_events : Sim.handle option array;
+  work_events : Sim.handle array;
+  plan_events : Sim.handle array;
       (* per-core demand wakeup: the analytically-computed next interesting
          instant (vruntime crossing / idle pickup / balloon inner rotation)
          replaces the seed's blind per-core 1 ms tick *)
-  mutable balloon_event : Sim.handle option;
+  mutable balloon_event : Sim.handle;
       (* single machine-wide wakeup at the live balloon's next boundary:
          min(max_period expiry, earliest loan-cap crossing, the instant the
          balloon loses the credit race on its last winning core) *)
@@ -105,7 +105,7 @@ type t = {
       (* grid anchor for refill boundaries (epoch + k * quota_period), fixed
          by the first quota ever set so demand-armed refills land on the
          same instants a periodic timer would have *)
-  mutable quota_next : Sim.handle option; (* armed refill boundary, if any *)
+  mutable quota_next : Sim.handle; (* armed refill boundary, if any *)
   (* telemetry handles, resolved once at create; lanes precomputed so the
      tracing hot path allocates nothing when recording is off *)
   tm_switch : Tm.counter;
@@ -132,9 +132,9 @@ let create sim cpu ?(config = default_config) () =
     rqs = Array.init n (fun core -> Cfs.create ~core);
     curr_started = Array.make n Time.zero;
     dispatched = Array.make n Time.zero;
-    work_events = Array.make n None;
-    plan_events = Array.make n None;
-    balloon_event = None;
+    work_events = Array.make n Sim.none;
+    plan_events = Array.make n Sim.none;
+    balloon_event = Sim.none;
     span_tag = Array.make n None;
     task_entities = Hashtbl.create 64;
     apps = Hashtbl.create 16;
@@ -148,7 +148,7 @@ let create sim cpu ?(config = default_config) () =
     share_counts = Hashtbl.create 16;
     quotas = Hashtbl.create 8;
     quota_epoch = None;
-    quota_next = None;
+    quota_next = Sim.none;
     tm_switch = Tm.counter "smp.ctx_switches";
     tm_core_switch =
       Array.init n (fun core ->
@@ -257,11 +257,8 @@ let curr_is rq e =
   match Cfs.curr rq with Some c -> c == e | None -> false
 
 let cancel_work smp core =
-  match smp.work_events.(core) with
-  | Some h ->
-      Sim.cancel h;
-      smp.work_events.(core) <- None
-  | None -> ()
+  Sim.cancel smp.sim smp.work_events.(core);
+  smp.work_events.(core) <- Sim.none
 
 (* Per-app CPU quota (CFS-bandwidth style). Only plain task entities are
    throttled: balloon groups answer to the psbox coscheduling machinery,
@@ -310,18 +307,12 @@ let update_curr smp core =
 let plan_horizon = Time.sec 60
 
 let cancel_plan smp core =
-  match smp.plan_events.(core) with
-  | Some h ->
-      Sim.cancel h;
-      smp.plan_events.(core) <- None
-  | None -> ()
+  Sim.cancel smp.sim smp.plan_events.(core);
+  smp.plan_events.(core) <- Sim.none
 
 let cancel_balloon_event smp =
-  match smp.balloon_event with
-  | Some h ->
-      Sim.cancel h;
-      smp.balloon_event <- None
-  | None -> ()
+  Sim.cancel smp.sim smp.balloon_event;
+  smp.balloon_event <- Sim.none
 
 (* Projected vruntime of the core's current entity at the present instant,
    without touching the accounting ([update_curr] materialises the same
@@ -410,10 +401,10 @@ let record_latency smp t =
 let rec schedule_work smp core t =
   cancel_work smp core;
   let span = max 0 t.Task.remaining in
-  smp.work_events.(core) <- Some (Sim.schedule_after smp.sim span (fun () -> work_fired smp core))
+  smp.work_events.(core) <- Sim.schedule_after smp.sim span (fun () -> work_fired smp core)
 
 and work_fired smp core =
-  smp.work_events.(core) <- None;
+  smp.work_events.(core) <- Sim.none;
   update_curr smp core;
   let rq = smp.rqs.(core) in
   match Cfs.curr rq with
@@ -756,7 +747,7 @@ and replan_core smp core =
         (* idle core with queued work: pick it up this instant (the
            polling scheduler waited for the next tick) *)
         smp.plan_events.(core) <-
-          Some (Sim.schedule_at smp.sim now (fun () -> plan_fired smp core))
+          Sim.schedule_at smp.sim now (fun () -> plan_fired smp core)
     | Some c, Some l ->
         (* the instant the waiter's static vruntime undercuts the runner's
            growing one, floored by one tick as the minimum quantum. The
@@ -778,7 +769,7 @@ and replan_core smp core =
         in
         let at = max at (smp.dispatched.(core) + smp.cfg.tick) in
         smp.plan_events.(core) <-
-          Some (Sim.schedule_at smp.sim at (fun () -> plan_fired smp core))
+          Sim.schedule_at smp.sim at (fun () -> plan_fired smp core)
     | (Some _ | None), None -> ()
   end
 
@@ -797,9 +788,7 @@ and replan_rotate smp core =
             match Entity.group_pick g with
             | Some _ ->
                 smp.plan_events.(core) <-
-                  Some
-                    (Sim.schedule_at smp.sim now (fun () ->
-                         plan_fired smp core))
+                  Sim.schedule_at smp.sim now (fun () -> plan_fired smp core)
             | None -> ())
         | Some t ->
             let delta = now - smp.curr_started.(core) in
@@ -831,14 +820,13 @@ and replan_rotate smp core =
             | Some at ->
                 let at = max at (smp.dispatched.(core) + smp.cfg.tick) in
                 smp.plan_events.(core) <-
-                  Some
-                    (Sim.schedule_at smp.sim at (fun () -> plan_fired smp core))
+                  Sim.schedule_at smp.sim at (fun () -> plan_fired smp core)
             | None -> ()))
     | Some _ | None -> ()
   end
 
 and plan_fired smp core =
-  smp.plan_events.(core) <- None;
+  smp.plan_events.(core) <- Sim.none;
   if not smp.stopped then begin
     update_curr smp core;
     match smp.live with
@@ -846,9 +834,7 @@ and plan_fired smp core =
         Tm.incr smp.tm_ev_rotate;
         inner_rotate smp core;
         (* inner_rotate re-plans through resched/run if it acted *)
-        (match smp.plan_events.(core) with
-        | None -> replan smp core
-        | Some _ -> ())
+        if Sim.is_none smp.plan_events.(core) then replan smp core
     | Some _ | None -> (
         Tm.incr smp.tm_ev_preempt;
         let rq = smp.rqs.(core) in
@@ -920,11 +906,11 @@ and replan_balloon smp b =
     | None -> ());
     let at = min !at (now + plan_horizon) in
     smp.balloon_event <-
-      Some (Sim.schedule_at smp.sim (max at now) (fun () -> balloon_fired smp))
+      Sim.schedule_at smp.sim (max at now) (fun () -> balloon_fired smp)
   end
 
 and balloon_fired smp =
-  smp.balloon_event <- None;
+  smp.balloon_event <- Sim.none;
   if not smp.stopped then
     match smp.live with
     | Some b when b.b_live ->
@@ -963,11 +949,8 @@ and balloon_fired smp =
    running it reschedule (put_prev's throttle guard keeps them off the
    queue). Sandboxed apps are exempt (see [entity_throttled]). *)
 let throttle smp app q =
-  (match q.q_event with
-  | Some h ->
-      Sim.cancel h;
-      q.q_event <- None
-  | None -> ());
+  Sim.cancel smp.sim q.q_event;
+  q.q_event <- Sim.none;
   q.q_throttled <- true;
   Tm.incr smp.tm_throttles;
   if Tt.recording () then
@@ -1000,22 +983,16 @@ let start smp =
 
 let stop smp =
   smp.stopped <- true;
-  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.plan_events;
-  Array.iter (function Some h -> Sim.cancel h | None -> ()) smp.work_events;
+  Array.iter (fun h -> Sim.cancel smp.sim h) smp.plan_events;
+  Array.iter (fun h -> Sim.cancel smp.sim h) smp.work_events;
   cancel_balloon_event smp;
   Hashtbl.iter
     (fun _ q ->
-      match q.q_event with
-      | Some h ->
-          Sim.cancel h;
-          q.q_event <- None
-      | None -> ())
+      Sim.cancel smp.sim q.q_event;
+      q.q_event <- Sim.none)
     smp.quotas;
-  (match smp.quota_next with
-  | Some h ->
-      Sim.cancel h;
-      smp.quota_next <- None
-  | None -> ());
+  Sim.cancel smp.sim smp.quota_next;
+  smp.quota_next <- Sim.none;
   (match smp.live with Some b -> cosched_out smp b | None -> ());
   Trace.close_all smp.trace (Sim.now smp.sim)
 
@@ -1179,11 +1156,8 @@ let rec replan_quota smp app =
   match Hashtbl.find_opt smp.quotas app with
   | None -> ()
   | Some q ->
-      (match q.q_event with
-      | Some h ->
-          Sim.cancel h;
-          q.q_event <- None
-      | None -> ());
+      Sim.cancel smp.sim q.q_event;
+      q.q_event <- Sim.none;
       if
         (not smp.stopped) && (not q.q_throttled)
         && balloon_of_app smp app = None
@@ -1202,8 +1176,7 @@ let rec replan_quota smp app =
             end
           in
           q.q_event <-
-            Some
-              (Sim.schedule_after smp.sim dt (fun () -> quota_fired smp app))
+            Sim.schedule_after smp.sim dt (fun () -> quota_fired smp app)
         end
       end
 
@@ -1211,7 +1184,7 @@ and quota_fired smp app =
   match Hashtbl.find_opt smp.quotas app with
   | None -> ()
   | Some q ->
-      q.q_event <- None;
+      q.q_event <- Sim.none;
       if not smp.stopped then begin
         Tm.incr smp.tm_ev_quota;
         for core = 0 to cores smp - 1 do
@@ -1237,19 +1210,18 @@ and quota_fired smp app =
    throttled); skipped boundaries are exact no-ops — every balance is
    already zero and nothing is waiting. *)
 let rec arm_refill smp =
-  match (smp.quota_epoch, smp.quota_next) with
-  | Some epoch, None when not smp.stopped ->
+  match smp.quota_epoch with
+  | Some epoch when Sim.is_none smp.quota_next && not smp.stopped ->
       let period = smp.cfg.quota_period in
       let k = ((Sim.now smp.sim - epoch) / period) + 1 in
       smp.quota_next <-
-        Some
-          (Sim.schedule_at smp.sim
-             (epoch + (k * period))
-             (fun () -> refill_fired smp))
+        Sim.schedule_at smp.sim
+          (epoch + (k * period))
+          (fun () -> refill_fired smp)
   | _ -> ()
 
 and refill_fired smp =
-  smp.quota_next <- None;
+  smp.quota_next <- Sim.none;
   if not smp.stopped then begin
     Tm.incr smp.tm_ev_refill;
     quota_refill smp ();
@@ -1281,11 +1253,8 @@ let set_quota smp ~app limit =
   | None -> (
       match Hashtbl.find_opt smp.quotas app with
       | Some q ->
-          (match q.q_event with
-          | Some h ->
-              Sim.cancel h;
-              q.q_event <- None
-          | None -> ());
+          Sim.cancel smp.sim q.q_event;
+          q.q_event <- Sim.none;
           if q.q_throttled then unthrottle smp app q;
           Hashtbl.remove smp.quotas app
       | None -> ())
@@ -1295,7 +1264,7 @@ let set_quota smp ~app limit =
       | Some q -> q.q_limit <- l
       | None ->
           Hashtbl.replace smp.quotas app
-            { q_limit = l; q_used = 0; q_throttled = false; q_event = None });
+            { q_limit = l; q_used = 0; q_throttled = false; q_event = Sim.none });
       ensure_quota_tick smp;
       replan_quota smp app
 

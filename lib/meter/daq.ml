@@ -18,10 +18,14 @@ let noisy daq w =
   | Some _ | None -> w
 
 let capture daq rail ~from ~until =
-  let raw =
-    Timeline.samples (Psbox_hw.Power_rail.timeline rail) ~period:daq.period ~from ~until
-  in
-  Array.map (fun (t, w) -> Sample.make t (noisy daq w)) raw
+  let tl = Psbox_hw.Power_rail.timeline rail in
+  let n = max (((until - from) / daq.period) + 1) 0 in
+  let out = Array.make n (Sample.make from 0.0) in
+  let k = ref 0 in
+  Timeline.iter_samples tl ~period:daq.period ~from ~until ~f:(fun t w ->
+      out.(!k) <- Sample.make t (noisy daq w);
+      incr k);
+  out
 
 let capture_many daq rails ~from ~until =
   List.map

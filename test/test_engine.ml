@@ -62,8 +62,8 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule_at sim 10 (fun () -> fired := true) in
-  Sim.cancel h;
-  check_bool "cancelled" true (Sim.cancelled h);
+  Sim.cancel sim h;
+  check_bool "cancelled" true (Sim.cancelled sim h);
   Sim.run sim;
   check_bool "did not fire" false !fired
 
@@ -361,9 +361,9 @@ let test_sim_pending_excludes_cancelled () =
   let _h2 = Sim.schedule_at sim 20 (fun () -> ()) in
   let _h3 = Sim.schedule_at sim 30 (fun () -> ()) in
   check_int "three live" 3 (Sim.pending sim);
-  Sim.cancel h1;
+  Sim.cancel sim h1;
   check_int "cancelled excluded immediately" 2 (Sim.pending sim);
-  Sim.cancel h1;
+  Sim.cancel sim h1;
   (* double cancel must not double-count *)
   check_int "idempotent cancel" 2 (Sim.pending sim);
   Sim.run sim;
@@ -371,21 +371,41 @@ let test_sim_pending_excludes_cancelled () =
 
 let test_sim_bulk_reap () =
   let sim = Sim.create () in
+  let fired = ref 0 in
   let handles =
-    Array.init 200 (fun i -> Sim.schedule_at sim ((i + 1) * 10) (fun () -> ()))
+    Array.init 200 (fun i ->
+        Sim.schedule_at sim ((i + 1) * 10) (fun () -> incr fired))
   in
   check_int "all queued" 200 (Sim.queue_length sim);
   for i = 0 to 149 do
-    Sim.cancel handles.(i)
+    Sim.cancel sim handles.(i)
   done;
   check_int "live count exact" 50 (Sim.pending sim);
   check_bool "tombstones reaped in bulk" true (Sim.queue_length sim < 200);
-  let fired = ref 0 in
   ignore (Sim.schedule_at sim 5_000 (fun () -> ()));
-  Array.iter (fun h -> if not (Sim.cancelled h) then incr fired) handles;
   Sim.run sim;
   check_int "survivors still fire" 50 !fired;
   check_int "empty" 0 (Sim.queue_length sim)
+
+(* Handle staleness: once an event fires, its pooled slot is recycled and
+   every outstanding handle to it goes stale — cancel/cancelled on the old
+   handle must not touch the slot's new occupant. *)
+let test_sim_stale_handle_no_ops () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let h1 = Sim.schedule_at sim 10 (fun () -> incr fired) in
+  Sim.run_until sim 20;
+  check_int "first fired" 1 !fired;
+  check_bool "fired handle reads done" false (Sim.cancelled sim h1);
+  (* with pooling on, the next event reuses h1's slot index *)
+  ignore (Sim.schedule_at sim 30 (fun () -> incr fired));
+  Sim.cancel sim h1;
+  (* stale cancel: a no-op *)
+  check_int "recycled occupant unaffected" 1 (Sim.pending sim);
+  Sim.cancel sim Sim.none;
+  (* none: also a no-op *)
+  Sim.run sim;
+  check_int "recycled occupant fired" 2 !fired
 
 let test_sim_schedule_every () =
   let sim = Sim.create () in
@@ -579,8 +599,8 @@ let test_timeline_retention () =
    when the wheel runs dry). *)
 let test_wheel_cascade_boundaries () =
   let w =
-    Wheel.create ~granularity_bits:4 ~wheel_bits:2 ~levels:2 ~cmp:compare
-      ~time:(fun x -> x) ()
+    Wheel.create ~granularity_bits:4 ~wheel_bits:2 ~levels:2 ~dummy:0
+      ~cmp:compare ~time:(fun x -> x) ()
   in
   check_int "granule" 16 (Wheel.granule w);
   check_int "level-0 span" 64 (Wheel.level_span w 0);
@@ -609,6 +629,7 @@ let test_wheel_cascade_boundaries () =
   check_int "below cursor+granule is ready" 1 (Wheel.ready_count w);
   Wheel.clear w;
   check_bool "clear empties" true (Wheel.is_empty w);
+  check_int "clear rewinds the cursor" 0 (Wheel.cursor w);
   Alcotest.check_raises "negative time rejected"
     (Invalid_argument "Wheel.push: negative time") (fun () ->
       Wheel.push w (-1))
@@ -643,7 +664,7 @@ let prop_backends_agree =
             | 1 -> (
                 match !handles with
                 | h :: rest when far ->
-                    Sim.cancel h;
+                    Sim.cancel sim h;
                     handles := rest
                 | _ -> ())
             | _ ->
@@ -655,6 +676,58 @@ let prop_backends_agree =
         (List.rev !log, Sim.now sim, Sim.pending sim)
       in
       trace `Heap = trace `Wheel)
+
+(* Slot pooling must be invisible: a pooled sim and a fresh-handles sim
+   (pooling off — every event allocates its own record, the pre-pool
+   behavior) must realise identical (id, time) fire orders, pending counts
+   and cancelled-query answers under random schedule / cancel / stale-
+   cancel / reap interleavings. Ops 1 and 2 cancel live and {e retired}
+   handles respectively, so cancel-after-recycle staleness is on the
+   tested path; 150+-event programs cross the bulk-reap threshold. *)
+let prop_pooling_invisible =
+  QCheck.Test.make ~name:"pooled and fresh-handle sims realise the same schedule"
+    ~count:100
+    QCheck.(list (pair (int_bound 4) (int_bound 50_000_000)))
+    (fun ops ->
+      let trace pooling =
+        let sim = Sim.create ~pooling () in
+        let log = ref [] in
+        let live = ref [] and old = ref [] in
+        let k = ref 0 in
+        List.iter
+          (fun (op, dt) ->
+            match op with
+            | 0 | 3 ->
+                incr k;
+                let id = !k in
+                let h =
+                  Sim.schedule_after sim (dt mod 5_000_000) (fun () ->
+                      log := (id, Sim.now sim) :: !log)
+                in
+                live := h :: !live
+            | 1 -> (
+                match !live with
+                | h :: rest ->
+                    Sim.cancel sim h;
+                    live := rest;
+                    old := h :: !old
+                | [] -> ())
+            | 2 -> (
+                (* stale or double cancel, plus a cancelled query *)
+                match !old with
+                | h :: _ ->
+                    Sim.cancel sim h;
+                    log := ((if Sim.cancelled sim h then -3 else -4), 0) :: !log
+                | [] -> ())
+            | _ ->
+                Sim.run_until sim (Sim.now sim + dt);
+                log := (-1, Sim.now sim) :: !log;
+                log := (-2, Sim.pending sim) :: !log)
+          ops;
+        Sim.run sim;
+        (List.rev !log, Sim.now sim, Sim.pending sim)
+      in
+      trace true = trace false)
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -692,6 +765,7 @@ let suite =
     ("bus subscribe mid-publish", `Quick, test_bus_subscribe_mid_publish);
     ("sim pending excludes cancelled", `Quick, test_sim_pending_excludes_cancelled);
     ("sim bulk tombstone reap", `Quick, test_sim_bulk_reap);
+    ("sim stale handles no-op", `Quick, test_sim_stale_handle_no_ops);
     ("sim schedule_every", `Quick, test_sim_schedule_every);
     ("sim schedule_every start", `Quick, test_sim_schedule_every_start);
     ("sim schedule_every re-arms first", `Quick, test_sim_schedule_every_rearms_before_body);
@@ -710,4 +784,5 @@ let suite =
     qcheck prop_timeline_integral_nonneg;
     qcheck prop_stats_mean_bounds;
     qcheck prop_backends_agree;
+    qcheck prop_pooling_invisible;
   ]

@@ -220,9 +220,10 @@ let test_sim_counters () =
     ignore (Sim.schedule_at sim (Time.ms i) (fun () -> incr hits))
   done;
   ignore
-    (Sim.schedule_at sim ~label:"test.tick" (Time.ms 50) (fun () -> incr hits));
+    (Sim.schedule_at sim ~label:(Sim.label "test.tick") (Time.ms 50)
+       (fun () -> incr hits));
   let doomed = Sim.schedule_at sim (Time.ms 60) (fun () -> incr hits) in
-  Sim.cancel doomed;
+  Sim.cancel sim doomed;
   Sim.run_until sim (Time.ms 100);
   check_int "callbacks ran" 11 !hits;
   check_float "fired delta" 11.0 (value "sim.events_fired" -. fired0);
